@@ -1,0 +1,219 @@
+(* Command-line front end: run any registered decomposition or carving
+   algorithm on any workload family and print the measured parameters.
+
+     decompose run   --algo thm2.3 --family grid --n 1024
+     decompose carve --algo thm2.2 --family path --n 4096 --epsilon 0.25
+     decompose lemma31 --family subdiv --n 2048
+     decompose list *)
+
+open Cmdliner
+module Suite = Workload.Suite
+module Algorithms = Workload.Algorithms
+module Measure = Workload.Measure
+
+let family_arg =
+  let doc =
+    "Workload family: " ^ String.concat ", " (List.map (fun f -> f.Suite.name) Suite.all)
+  in
+  Arg.(value & opt string "grid" & info [ "family"; "f" ] ~docv:"FAMILY" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 1024 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Approximate node count.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let epsilon_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Boundary parameter in (0,1).")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input"; "i" ] ~docv:"FILE"
+        ~doc:
+          "Load the graph from an edge-list file (one 'u v' pair per line, \
+           optional '# n <count>' header) instead of generating a workload \
+           family.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write a Graphviz rendering of the clustering to FILE.")
+
+let lookup_family name =
+  try Suite.find name
+  with Not_found ->
+    Format.eprintf "unknown family %s@." name;
+    exit 2
+
+(* when --input is given, wrap the file as a single-use family *)
+let family_or_input family input =
+  match input with
+  | None -> lookup_family family
+  | Some path ->
+      {
+        Suite.name = Filename.basename path;
+        build = (fun ~seed:_ ~n:_ -> Dsgraph.Io.load path);
+      }
+
+let run_cmd =
+  let algo_arg =
+    let doc =
+      "Decomposition algorithm: "
+      ^ String.concat ", "
+          (List.map (fun (d : Algorithms.decomposer) -> d.name)
+             Algorithms.decomposers)
+    in
+    Arg.(value & opt string "thm2.3" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let run algo family n seed input dot =
+    let d =
+      try Algorithms.find_decomposer algo
+      with Not_found ->
+        Format.eprintf "unknown algorithm %s@." algo;
+        exit 2
+    in
+    let family = family_or_input family input in
+    let row = Measure.decomposition_row ~seed d family ~n in
+    Format.printf "%s -- %s@.@." d.Algorithms.name d.Algorithms.reference;
+    Measure.pp_decomp_table Format.std_formatter [ row ];
+    (match dot with
+    | None -> ()
+    | Some path ->
+        let g = family.Suite.build ~seed ~n in
+        let decomp = d.run ~cost:(Congest.Cost.create ()) ~seed g in
+        let clustering = Cluster.Decomposition.clustering decomp in
+        let oc = open_out path in
+        output_string oc
+          (Dsgraph.Io.to_dot
+             ~cluster_of:(Cluster.Clustering.cluster_of clustering)
+             g);
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    if not row.Measure.valid then exit 1
+  in
+  let doc = "compute a network decomposition and report (C, D, rounds)" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ algo_arg $ family_arg $ n_arg $ seed_arg $ input_arg
+      $ dot_arg)
+
+let carve_cmd =
+  let algo_arg =
+    let doc =
+      "Carving algorithm: "
+      ^ String.concat ", "
+          (List.map (fun (c : Algorithms.carver) -> c.c_name) Algorithms.carvers)
+    in
+    Arg.(value & opt string "thm2.2" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let run algo family n seed epsilon =
+    let c =
+      try Algorithms.find_carver algo
+      with Not_found ->
+        Format.eprintf "unknown algorithm %s@." algo;
+        exit 2
+    in
+    let family = lookup_family family in
+    let row = Measure.carving_row ~seed c family ~n ~epsilon in
+    Format.printf "%s -- %s@.@." c.Algorithms.c_name c.Algorithms.c_reference;
+    Measure.pp_carve_table Format.std_formatter [ row ];
+    if not row.Measure.c_valid then exit 1
+  in
+  let doc = "run a single ball carving and report (diameter, dead, rounds)" in
+  Cmd.v (Cmd.info "carve" ~doc)
+    Term.(const run $ algo_arg $ family_arg $ n_arg $ seed_arg $ epsilon_arg)
+
+let lemma31_cmd =
+  let run family n seed epsilon =
+    let family = lookup_family family in
+    let g = family.Suite.build ~seed ~n in
+    let a = Strongdecomp.Barrier.analyze ~epsilon g in
+    Format.printf "lemma 3.1 on %s (n=%d, eps=%.3f):@." family.Suite.name
+      a.Strongdecomp.Barrier.n epsilon;
+    match a.Strongdecomp.Barrier.outcome with
+    | `Cut ->
+        Format.printf
+          "  balanced sparse cut; separator %d nodes (eps*n/ln n scale %.1f)@."
+          a.separator_size a.separator_bound
+    | `Component ->
+        Format.printf
+          "  large component; diameter %d (ln^2 n/eps scale %.1f), boundary %d@."
+          a.u_diameter a.diameter_scale a.separator_size
+  in
+  let doc = "run Lemma 3.1 (balanced sparse cut or large component)" in
+  Cmd.v (Cmd.info "lemma31" ~doc)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ epsilon_arg)
+
+let sweep_cmd =
+  let algo_arg =
+    Arg.(
+      value & opt string "thm2.3"
+      & info [ "algo"; "a" ] ~docv:"ALGO" ~doc:"Decomposition algorithm.")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 256; 512; 1024; 2048 ]
+      & info [ "sizes" ] ~docv:"N1,N2,..." ~doc:"Node counts to sweep.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write CSV here (default stdout).")
+  in
+  let run algo family seed sizes out =
+    let d =
+      try Algorithms.find_decomposer algo
+      with Not_found ->
+        Format.eprintf "unknown algorithm %s@." algo;
+        exit 2
+    in
+    let family = lookup_family family in
+    let rows = List.map (fun n -> Measure.decomposition_row ~seed d family ~n) sizes in
+    let csv = Measure.decomp_csv rows in
+    (match out with
+    | None -> print_string csv
+    | Some path ->
+        let oc = open_out path in
+        output_string oc csv;
+        close_out oc;
+        Format.printf "wrote %s (%d rows)@." path (List.length rows));
+    if List.exists (fun r -> not r.Measure.valid) rows then exit 1
+  in
+  let doc = "sweep one algorithm over a size series and emit CSV" in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ algo_arg $ family_arg $ seed_arg $ sizes_arg $ out_arg)
+
+let list_cmd =
+  let run () =
+    Format.printf "families:@.";
+    List.iter (fun f -> Format.printf "  %s@." f.Suite.name) Suite.all;
+    Format.printf "@.decomposition algorithms (Table 1 rows):@.";
+    List.iter
+      (fun (d : Algorithms.decomposer) ->
+        Format.printf "  %-8s %s@." d.name d.reference)
+      Algorithms.decomposers;
+    Format.printf "@.carving algorithms (Table 2 rows):@.";
+    List.iter
+      (fun (c : Algorithms.carver) ->
+        Format.printf "  %-8s %s@." c.c_name c.c_reference)
+      Algorithms.carvers
+  in
+  let doc = "list available families and algorithms" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc =
+    "strong-diameter network decomposition (Chang & Ghaffari, PODC 2021)"
+  in
+  let info = Cmd.info "decompose" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; carve_cmd; lemma31_cmd; sweep_cmd; list_cmd ]))

@@ -1,0 +1,66 @@
+open Dsgraph
+
+let of_decomposition ?cost g decomp =
+  let n = Graph.n g in
+  let clustering = Cluster.Decomposition.clustering decomp in
+  let color = Array.make n (-1) in
+  for decomposition_color = 0 to Cluster.Decomposition.num_colors decomp - 1 do
+    let clusters =
+      Cluster.Decomposition.clusters_of_color decomp decomposition_color
+    in
+    let max_diam = ref 0 in
+    List.iter
+      (fun c ->
+        let members = Cluster.Clustering.members clustering c in
+        (match Bfs.diameter_of_set g members with
+        | -1 -> ()
+        | d -> if d > !max_diam then max_diam := d);
+        List.iter
+          (fun v ->
+            if color.(v) = -1 then begin
+              let used = Array.make (Graph.degree g v + 1) false in
+              Graph.iter_neighbors g v (fun w ->
+                  if color.(w) >= 0 && color.(w) < Array.length used then
+                    used.(color.(w)) <- true);
+              let rec first c = if used.(c) then first (c + 1) else c in
+              color.(v) <- first 0
+            end)
+          members)
+      clusters;
+    match cost with
+    | None -> ()
+    | Some c ->
+        Congest.Cost.charge c
+          ~rounds:((2 * !max_diam) + 2)
+          ~messages:(Graph.n g)
+          ~max_bits:(2 * Congest.Bits.id_bits ~n)
+          (Printf.sprintf "coloring.color_%02d" decomposition_color)
+  done;
+  color
+
+let check ?palette g color =
+  let ( let* ) r f = Result.bind r f in
+  let palette =
+    match palette with Some p -> p | None -> Graph.max_degree g + 1
+  in
+  let* () =
+    List.fold_left
+      (fun acc v ->
+        let* () = acc in
+        if color.(v) < 0 then Error (Printf.sprintf "coloring: node %d uncolored" v)
+        else if color.(v) >= palette then
+          Error
+            (Printf.sprintf "coloring: node %d uses color %d >= palette %d" v
+               color.(v) palette)
+        else Ok ())
+      (Ok ()) (Graph.nodes g)
+  in
+  Graph.fold_edges g ~init:(Ok ()) ~f:(fun acc u v ->
+      let* () = acc in
+      if color.(u) = color.(v) then
+        Error (Printf.sprintf "coloring: edge (%d,%d) monochromatic" u v)
+      else Ok ())
+
+let run ?cost g =
+  let decomp = Strongdecomp.Netdecomp.strong ?cost g in
+  (of_decomposition ?cost g decomp, decomp)

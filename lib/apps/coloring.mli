@@ -1,0 +1,19 @@
+(** (Δ+1) vertex coloring via network decomposition, by the same
+    color-by-color template as {!Mis}: inside each cluster the center
+    assigns members the smallest palette color not used by an
+    already-decided neighbor. Since at most [Δ] neighbors are decided
+    when a node is processed, [Δ+1] palette colors always suffice. *)
+
+val of_decomposition :
+  ?cost:Congest.Cost.t ->
+  Dsgraph.Graph.t ->
+  Cluster.Decomposition.t ->
+  int array
+(** Per-node palette colors in [0 .. Δ]. *)
+
+val check : ?palette:int -> Dsgraph.Graph.t -> int array -> (unit, string) result
+(** Properness, and palette size at most [palette] (default [Δ+1]). *)
+
+val run :
+  ?cost:Congest.Cost.t -> Dsgraph.Graph.t -> int array * Cluster.Decomposition.t
+(** End-to-end: Theorem 2.3 decomposition, then coloring on top. *)

@@ -1,0 +1,16 @@
+(** Luby's randomized MIS as a genuinely distributed CONGEST node program
+    — the classical [O(log n)]-round randomized comparison point for the
+    decomposition-template MIS of {!Mis}. The contrast (randomized
+    [O(log n)] vs deterministic [O(C·D)] via network decomposition) is
+    precisely the randomized/deterministic gap the network-decomposition
+    line of work, including this paper, exists to close.
+
+    Each iteration takes two synchronous rounds: undecided nodes draw a
+    random priority and exchange it with their neighbors; a node whose
+    (priority, identifier) is a strict local maximum among undecided
+    neighbors joins the MIS and announces it; its neighbors drop out. *)
+
+val run : ?seed:int -> Dsgraph.Graph.t -> bool array * Congest.Sim.stats
+(** Runs on {!Congest.Sim} with [O(log n)]-bit messages; returns the
+    membership vector (validate with {!Mis.check}) and the measured
+    simulator statistics. Deterministic given [seed] (default 1). *)

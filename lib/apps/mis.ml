@@ -1,0 +1,64 @@
+open Dsgraph
+
+let of_decomposition ?cost g decomp =
+  let n = Graph.n g in
+  let clustering = Cluster.Decomposition.clustering decomp in
+  let in_mis = Array.make n false in
+  let decided = Array.make n false in
+  for color = 0 to Cluster.Decomposition.num_colors decomp - 1 do
+    let clusters = Cluster.Decomposition.clusters_of_color decomp color in
+    (* all clusters of one color decide simultaneously; the round cost is
+       dominated by the largest cluster diameter of the color *)
+    let max_diam = ref 0 in
+    List.iter
+      (fun c ->
+        let members = Cluster.Clustering.members clustering c in
+        (match Bfs.diameter_of_set g members with
+        | -1 -> () (* weak-diameter cluster: charged via weak diameter *)
+        | d -> if d > !max_diam then max_diam := d);
+        (* greedy inside the cluster, respecting already-decided nodes *)
+        List.iter
+          (fun v ->
+            if not decided.(v) then begin
+              let blocked = ref false in
+              Graph.iter_neighbors g v (fun w ->
+                  if decided.(w) && in_mis.(w) then blocked := true);
+              if not !blocked then in_mis.(v) <- true;
+              decided.(v) <- true
+            end)
+          members)
+      clusters;
+    match cost with
+    | None -> ()
+    | Some c ->
+        Congest.Cost.charge c
+          ~rounds:((2 * !max_diam) + 2)
+          ~messages:(Graph.n g)
+          ~max_bits:(2 * Congest.Bits.id_bits ~n)
+          (Printf.sprintf "mis.color_%02d" color)
+  done;
+  in_mis
+
+let check g mis =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    Graph.fold_edges g ~init:(Ok ()) ~f:(fun acc u v ->
+        let* () = acc in
+        if mis.(u) && mis.(v) then
+          Error (Printf.sprintf "MIS: adjacent members %d and %d" u v)
+        else Ok ())
+  in
+  List.fold_left
+    (fun acc v ->
+      let* () = acc in
+      if mis.(v) then Ok ()
+      else
+        let dominated = ref false in
+        Graph.iter_neighbors g v (fun w -> if mis.(w) then dominated := true);
+        if !dominated then Ok ()
+        else Error (Printf.sprintf "MIS: node %d undominated" v))
+    (Ok ()) (Graph.nodes g)
+
+let run ?cost g =
+  let decomp = Strongdecomp.Netdecomp.strong ?cost g in
+  (of_decomposition ?cost g decomp, decomp)

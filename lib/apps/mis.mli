@@ -1,0 +1,22 @@
+(** Maximal independent set via network decomposition — the standard use
+    template the paper's introduction describes: process colors one by
+    one; clusters of one color are non-adjacent, so they decide
+    simultaneously; inside a cluster the center gathers the members'
+    frozen neighborhood state and decides greedily. With a [(C, D)]
+    decomposition this costs [O(C · D)]-shaped rounds. *)
+
+val of_decomposition :
+  ?cost:Congest.Cost.t ->
+  Dsgraph.Graph.t ->
+  Cluster.Decomposition.t ->
+  bool array
+(** [of_decomposition g decomp] returns the membership vector of a maximal
+    independent set of [g]. The decomposition must cover all nodes.
+    Deterministic given the decomposition. *)
+
+val check : Dsgraph.Graph.t -> bool array -> (unit, string) result
+(** Independence and maximality. *)
+
+val run :
+  ?cost:Congest.Cost.t -> Dsgraph.Graph.t -> bool array * Cluster.Decomposition.t
+(** End-to-end: Theorem 2.3 decomposition, then MIS on top. *)

@@ -1,0 +1,98 @@
+open Dsgraph
+
+type t = { edges : (int * int) list; stretch_bound : int }
+
+let of_decomposition ?cost g decomp =
+  let n = Graph.n g in
+  let clustering = Cluster.Decomposition.clustering decomp in
+  let edges = ref [] in
+  let add u v = edges := (min u v, max u v) :: !edges in
+  let max_diam = ref 0 in
+  (* intra-cluster BFS trees *)
+  List.iter
+    (fun members ->
+      match members with
+      | [] -> ()
+      | root :: _ ->
+          let mask = Mask.of_list n members in
+          let parent = Bfs.parents ~mask g ~source:root in
+          List.iter
+            (fun v ->
+              if v <> root then begin
+                if parent.(v) = -1 then
+                  invalid_arg
+                    "Spanner.of_decomposition: cluster induces a disconnected \
+                     subgraph";
+                add v parent.(v)
+              end)
+            members;
+          let diam = Bfs.eccentricity ~mask g root in
+          if diam > !max_diam then max_diam := diam)
+    (Cluster.Clustering.clusters clustering);
+  (* one edge per adjacent cluster pair: the lexicographically smallest *)
+  let pick : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  Graph.iter_edges g (fun u v ->
+      let cu = Cluster.Clustering.cluster_of clustering u
+      and cv = Cluster.Clustering.cluster_of clustering v in
+      if cu >= 0 && cv >= 0 && cu <> cv then begin
+        let key = (min cu cv, max cu cv) in
+        match Hashtbl.find_opt pick key with
+        | Some best when best <= (min u v, max u v) -> ()
+        | _ -> Hashtbl.replace pick key (min u v, max u v)
+      end);
+  Hashtbl.iter (fun _ (u, v) -> add u v) pick;
+  (match cost with
+  | None -> ()
+  | Some c ->
+      (* per color: intra-cluster BFS tree + per-edge candidate election *)
+      Congest.Cost.charge c
+        ~rounds:(Cluster.Decomposition.num_colors decomp * ((2 * !max_diam) + 2))
+        ~messages:(Graph.m g)
+        ~max_bits:(2 * Congest.Bits.id_bits ~n)
+        "spanner.build");
+  let edges = List.sort_uniq compare !edges in
+  (* the eccentricity from one root bounds the tree depth; stretch uses
+     tree-depth detours: up-down inside each endpoint cluster plus the
+     kept inter-cluster edge *)
+  { edges; stretch_bound = (4 * !max_diam) + 2 }
+
+let spanner_graph g t =
+  Graph.create ~n:(Graph.n g) ~edges:t.edges
+
+let check g t =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    List.fold_left
+      (fun acc (u, v) ->
+        let* () = acc in
+        if Graph.is_edge g u v then Ok ()
+        else Error (Printf.sprintf "spanner: (%d,%d) is not a graph edge" u v))
+      (Ok ()) t.edges
+  in
+  let h = spanner_graph g t in
+  Graph.fold_edges g ~init:(Ok ()) ~f:(fun acc u v ->
+      let* () = acc in
+      let dist = Bfs.distances h ~source:u in
+      if dist.(v) >= 0 && dist.(v) <= t.stretch_bound then Ok ()
+      else
+        Error
+          (Printf.sprintf "spanner: edge (%d,%d) stretched to %d > %d" u v
+             dist.(v) t.stretch_bound))
+
+let measured_stretch g t =
+  let h = spanner_graph g t in
+  let worst = ref 0 in
+  (* one BFS per distinct source among edge endpoints *)
+  let last_source = ref (-1) in
+  let dist = ref [||] in
+  Graph.iter_edges g (fun u v ->
+      if u <> !last_source then begin
+        last_source := u;
+        dist := Bfs.distances h ~source:u
+      end;
+      if !dist.(v) > !worst then worst := !dist.(v));
+  float_of_int !worst
+
+let run ?cost g =
+  let decomp = Strongdecomp.Netdecomp.strong ?cost g in
+  (of_decomposition ?cost g decomp, decomp)

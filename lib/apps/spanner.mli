@@ -1,0 +1,30 @@
+(** Sparse spanners via network decomposition — a third classical use of
+    the [(C, D)] template: keep a BFS tree inside every cluster plus one
+    edge between each pair of adjacent clusters. Every graph edge then has
+    a detour of length at most [4D + 2] through the trees and the kept
+    inter-cluster edge, so the subgraph is a multiplicative
+    [O(D)]-spanner with at most [n - 1 + (#adjacent cluster pairs)]
+    edges. *)
+
+type t = {
+  edges : (int * int) list;  (** spanner edges, a subset of the graph's *)
+  stretch_bound : int;  (** the proven bound [4D + 2] *)
+}
+
+val of_decomposition :
+  ?cost:Congest.Cost.t -> Dsgraph.Graph.t -> Cluster.Decomposition.t -> t
+(** The decomposition must be strong-diameter (clusters induce connected
+    subgraphs) and cover all nodes.
+    @raise Invalid_argument on a cluster inducing a disconnected
+    subgraph. *)
+
+val check : Dsgraph.Graph.t -> t -> (unit, string) result
+(** Validates: spanner edges exist in the graph, and every graph edge
+    [(u,v)] satisfies [dist_spanner(u,v) <= stretch_bound]. *)
+
+val measured_stretch : Dsgraph.Graph.t -> t -> float
+(** Max over graph edges of the actual detour length (the effective
+    stretch, usually far below the bound). *)
+
+val run : ?cost:Congest.Cost.t -> Dsgraph.Graph.t -> t * Cluster.Decomposition.t
+(** End-to-end: Theorem 2.3 decomposition, then the spanner. *)

@@ -1,0 +1,61 @@
+open Dsgraph
+
+type preset = Ls93_existential | Aglp | Gha19
+
+let beta_of_preset preset ~n =
+  let logn = Float.max 1.0 (log (float_of_int (max n 2)) /. log 2.0) in
+  match preset with
+  | Ls93_existential -> 2.0
+  | Aglp -> Float.max 2.0 (2.0 ** sqrt (logn *. Float.max 1.0 (log logn /. log 2.0)))
+  | Gha19 -> Float.max 2.0 (2.0 ** sqrt logn)
+
+let carve ?cost ?beta ?domain g ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Greedy.carve: epsilon must be in (0, 1)";
+  let beta = match beta with Some b -> b | None -> 1.0 /. (1.0 -. epsilon) in
+  if beta <= 1.0 then invalid_arg "Greedy.carve: beta must exceed 1";
+  let n = Graph.n g in
+  let domain = match domain with Some d -> d | None -> Mask.full n in
+  let remaining = Mask.copy domain in
+  let cluster_of = Array.make n (-1) in
+  let next_cluster = ref 0 in
+  while Mask.count remaining > 0 do
+    let center = List.hd (Mask.to_list remaining) in
+    let dist = Bfs.distances ~mask:remaining g ~source:center in
+    let maxd = Array.fold_left max 0 dist in
+    let cum = Array.make (maxd + 1) 0 in
+    Array.iter (fun d -> if d >= 0 then cum.(d) <- cum.(d) + 1) dist;
+    for k = 1 to maxd do
+      cum.(k) <- cum.(k) + cum.(k - 1)
+    done;
+    let ball r = if r > maxd then cum.(maxd) else cum.(r) in
+    let rec find r =
+      if r >= maxd then maxd
+      else if float_of_int (ball (r + 1)) <= beta *. float_of_int (ball r) then r
+      else find (r + 1)
+    in
+    let r = find 0 in
+    (match cost with
+    | None -> ()
+    | Some c ->
+        Congest.Cost.charge c ~rounds:(r + 2) ~messages:(ball (r + 1))
+          ~max_bits:(2 * Congest.Bits.id_bits ~n) "greedy.grow");
+    let id = !next_cluster in
+    incr next_cluster;
+    for v = 0 to n - 1 do
+      if dist.(v) >= 0 && dist.(v) <= r then begin
+        cluster_of.(v) <- id;
+        Mask.remove remaining v
+      end
+      else if dist.(v) = r + 1 then Mask.remove remaining v
+    done
+  done;
+  let clustering = Cluster.Clustering.make g ~cluster_of in
+  Cluster.Carving.make clustering ~domain
+
+let decompose ?cost ?(preset = Ls93_existential) g =
+  let beta = beta_of_preset preset ~n:(Graph.n g) in
+  let epsilon = 1.0 -. (1.0 /. beta) in
+  let epsilon = Float.min 0.9 (Float.max 0.25 epsilon) in
+  let carver ?cost ?domain g ~epsilon = carve ?cost ~beta ?domain g ~epsilon in
+  Strongdecomp.Netdecomp.of_carver ?cost ~epsilon carver g

@@ -1,0 +1,57 @@
+(** Linial–Saks (1993) randomized weak-diameter ball carving and network
+    decomposition — the Table 1/2 randomized weak rows.
+
+    One carving round: every domain node [u] samples a radius
+    [r_u ~ Geometric(ε)] capped at [O(log n)]; every node [v] elects, among
+    the nodes [u] whose sampled ball [B_{r_u}(u)] covers it, the one with
+    the largest identifier. If [dist(v, u) < r_u] (strict interior), [v]
+    joins [u]'s cluster; if [dist(v, u) = r_u] it dies. By memorylessness
+    of the geometric distribution each node dies with probability [<= ε];
+    a Las Vegas retry enforces the bound per invocation. Same-color
+    clusters are non-adjacent by the standard priority argument; clusters
+    have weak diameter [<= 2·r_max = O(log n / ε)]. *)
+
+val carve :
+  ?cost:Congest.Cost.t ->
+  ?max_retries:int ->
+  Dsgraph.Rng.t ->
+  ?domain:Dsgraph.Mask.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t
+(** One carving invocation; retries the sampling (default 60 attempts)
+    until the dead fraction is at most [ε].
+    @raise Failure if no attempt succeeds. *)
+
+val max_radius : n:int -> epsilon:float -> int
+(** The radius cap [O(log n/ε)]. *)
+
+val decompose :
+  ?cost:Congest.Cost.t ->
+  Dsgraph.Rng.t ->
+  Dsgraph.Graph.t ->
+  Cluster.Decomposition.t
+(** [O(log n)]-color weak-diameter network decomposition via repeated
+    carving with [ε = 1/2]. *)
+
+val carve_with_trees :
+  ?cost:Congest.Cost.t ->
+  ?max_retries:int ->
+  Dsgraph.Rng.t ->
+  ?domain:Dsgraph.Mask.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t * Cluster.Steiner.forest
+(** Like {!carve}, additionally materializing each cluster's Steiner tree:
+    the shortest-path tree from the cluster center to its members (depth
+    [<= r_center <= ]{!max_radius}), possibly routing through nodes outside
+    the cluster — exactly the augmentation the weak-carving interface of
+    Theorem 2.1 requires. *)
+
+val weak_carver : Dsgraph.Rng.t -> Strongdecomp.Transform.weak_carver
+(** Package Linial–Saks as the black box [A] of Theorem 2.1. Composing
+    [Transform.strong_carve ~weak:(weak_carver rng)] yields a {e
+    randomized} strong-diameter ball carving through the paper's
+    transformation — the paper notes such a transformation was previously
+    unknown even for randomized algorithms. See
+    {!Ls_transform}. *)

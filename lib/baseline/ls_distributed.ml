@@ -1,0 +1,119 @@
+open Dsgraph
+
+type state = {
+  best_prio : int;
+  best_slack : int;
+  announced : (int * int) option; (* last pair broadcast *)
+}
+
+let better (p1, s1) (p2, s2) = p1 > p2 || (p1 = p2 && s1 > s2)
+
+let attempt rng g ~epsilon =
+  let n = Graph.n g in
+  let cap = Linial_saks.max_radius ~n ~epsilon in
+  (* per-node radii drawn up front; nodes only use their own entry *)
+  let radii = Array.init n (fun _ -> min cap (Rng.geometric rng epsilon)) in
+  let msg_bits = Congest.Bits.id_bits ~n + Congest.Bits.int_bits cap in
+  let program =
+    {
+      Congest.Sim.init =
+        (fun ~node ~neighbors:_ ->
+          { best_prio = node; best_slack = radii.(node); announced = None });
+      round =
+        (fun ~node ~state ~inbox ->
+          let best =
+            List.fold_left
+              (fun acc (_, pair) -> if better pair acc then pair else acc)
+              (state.best_prio, state.best_slack)
+              inbox
+          in
+          let state = { state with best_prio = fst best; best_slack = snd best } in
+          let should_send =
+            state.best_slack >= 1
+            && state.announced <> Some (state.best_prio, state.best_slack)
+          in
+          if should_send then
+            let out =
+              Array.to_list
+                (Array.map
+                   (fun nb -> (nb, (state.best_prio, state.best_slack - 1)))
+                   (Graph.neighbors g node))
+            in
+            ( { state with announced = Some (state.best_prio, state.best_slack) },
+              out,
+              false )
+          else (state, [], true));
+    }
+  in
+  let states, stats =
+    Congest.Sim.run ~max_rounds:((2 * cap) + 8) ~bits:(fun _ -> msg_bits) g
+      program
+  in
+  let cluster_of =
+    Array.map (fun s -> if s.best_slack >= 1 then s.best_prio else -1) states
+  in
+  (cluster_of, stats)
+
+let carve ?(max_retries = 60) rng g ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Ls_distributed.carve: epsilon must be in (0, 1)";
+  let n = Graph.n g in
+  let domain = Mask.full n in
+  let rec go k =
+    if k >= max_retries then
+      failwith "Ls_distributed.carve: retries exhausted (unlucky sampling)";
+    let cluster_of, stats = attempt rng g ~epsilon in
+    let clustering = Cluster.Clustering.make g ~cluster_of in
+    let carving = Cluster.Carving.make clustering ~domain in
+    if Cluster.Carving.dead_fraction carving <= epsilon then (carving, stats)
+    else go (k + 1)
+  in
+  go 0
+
+type decompose_stats = {
+  total_rounds : int;
+  total_messages : int;
+  max_bits : int;
+}
+
+let decompose ?(max_retries = 60) rng g =
+  let n = Graph.n g in
+  let cluster_of = Array.make n (-1) in
+  let node_color = Array.make n (-1) in
+  let next_cluster = ref 0 in
+  let stats = ref { total_rounds = 0; total_messages = 0; max_bits = 0 } in
+  let remaining = ref (Graph.nodes g) in
+  let color = ref 0 in
+  while !remaining <> [] do
+    let sub, back = Subgraph.induce g !remaining in
+    let carving, sim_stats = carve ~max_retries rng sub ~epsilon:0.5 in
+    stats :=
+      {
+        total_rounds = !stats.total_rounds + sim_stats.Congest.Sim.rounds_used;
+        total_messages =
+          !stats.total_messages + sim_stats.Congest.Sim.total_messages;
+        max_bits = max !stats.max_bits sim_stats.Congest.Sim.max_bits_seen;
+      };
+    let clustering = carving.Cluster.Carving.clustering in
+    if Cluster.Clustering.clustered_count clustering = 0 then
+      failwith "Ls_distributed.decompose: carving clustered no nodes";
+    List.iter
+      (fun members ->
+        let id = !next_cluster in
+        incr next_cluster;
+        List.iter
+          (fun v ->
+            let orig = back.(v) in
+            cluster_of.(orig) <- id;
+            node_color.(orig) <- !color)
+          members)
+      (Cluster.Clustering.clusters clustering);
+    remaining := List.filter (fun v -> cluster_of.(v) = -1) !remaining;
+    incr color
+  done;
+  let clustering = Cluster.Clustering.make g ~cluster_of in
+  let color_of_cluster =
+    Array.init (Cluster.Clustering.num_clusters clustering) (fun c ->
+        node_color.(List.hd (Cluster.Clustering.members clustering c)))
+  in
+  (Cluster.Decomposition.make clustering ~color_of_cluster, !stats)

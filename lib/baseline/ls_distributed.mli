@@ -1,0 +1,47 @@
+(** A {e genuinely distributed} Linial–Saks carving, run on the true
+    synchronous CONGEST simulator ({!Congest.Sim}) with [O(log n)]-bit
+    messages — no cost-model shortcuts.
+
+    Every node samples a radius [r_v ~ Geometric(ε)] (capped) and floods
+    the pair [(priority = id, slack)]; each node keeps the
+    lexicographically largest pair it has seen and re-broadcasts it with
+    the slack decremented while positive. A node whose final slack is
+    [>= 1] joins the cluster of its winning priority; slack [0] means it
+    lies on the winner's boundary and dies.
+
+    Separation is a purely local consequence of the flood rule: an
+    interior node forwards [(p, s-1)] to every neighbor, so two adjacent
+    interior nodes must agree on the winning priority.
+
+    This module exists to {e anchor the cost model}: the step-granular
+    [Linial_saks.carve] charges [2·max_radius + 2] rounds per attempt, and
+    the test suite checks the simulator's actual round count agrees. *)
+
+val carve :
+  ?max_retries:int ->
+  Dsgraph.Rng.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t * Congest.Sim.stats
+(** Runs the node program under [Sim.run] (Las Vegas retry on the dead
+    fraction, default 60 attempts) and returns the carving together with
+    the {e measured} simulator statistics (rounds, messages, max message
+    bits). @raise Failure when retries are exhausted. *)
+
+type decompose_stats = {
+  total_rounds : int;  (** summed over the color repetitions *)
+  total_messages : int;
+  max_bits : int;
+}
+
+val decompose :
+  ?max_retries:int ->
+  Dsgraph.Rng.t ->
+  Dsgraph.Graph.t ->
+  Cluster.Decomposition.t * decompose_stats
+(** A complete network decomposition computed {e entirely} on the
+    synchronous simulator: repeat the distributed carving with [ε = 1/2]
+    on the (materialized) subgraph induced by the not-yet-clustered nodes,
+    coloring repetition [i]'s clusters with color [i]. Every message of
+    every round fits the CONGEST bandwidth — the end-to-end
+    small-messages execution of a full decomposition. *)

@@ -1,0 +1,30 @@
+(** The Miller–Peng–Xu random-shift partition as a genuinely distributed
+    CONGEST node program, using {e integer} (geometric) shifts so the
+    wavefront semantics are exact in synchronous rounds: node [u] starts
+    its wave at round [cap - δ_u] and every node joins the first wave to
+    reach it (ties to the smallest center identifier). First arrival
+    minimizes [dist(u, v) - δ_u], so this is MPX with geometric instead of
+    exponential shifts — the discretization the synchronous model
+    natively supports.
+
+    The module contains its own centralized reference implementation with
+    identical tie-breaking; the test suite asserts the simulated
+    assignment matches it exactly. *)
+
+type result = {
+  clustering : Cluster.Clustering.t;  (** all domain nodes assigned *)
+  sim_stats : Congest.Sim.stats;
+  shift_cap : int;
+}
+
+val partition :
+  ?seed:int -> Dsgraph.Graph.t -> beta:float -> result
+(** [partition g ~beta] with shifts [~ Geometric(1 - e^{-β})], capped at
+    [O(log n / β)]. Clusters induce connected subgraphs of radius
+    [O(log n/β)] w.h.p. *)
+
+val reference : ?seed:int -> Dsgraph.Graph.t -> beta:float -> int array
+(** The centralized assignment (per-node center) the simulation must
+    reproduce, computed with the same seed, shifts and tie-breaking. *)
+
+val matches_reference : ?seed:int -> Dsgraph.Graph.t -> beta:float -> bool

@@ -1,0 +1,154 @@
+open Dsgraph
+
+type t = {
+  graph : Graph.t;
+  cluster_of : int array;
+  num_clusters : int;
+  member_lists : int list array; (* sorted members, lazily computed eagerly *)
+}
+
+let make g ~cluster_of =
+  let n = Graph.n g in
+  if Array.length cluster_of <> n then
+    invalid_arg "Clustering.make: array length mismatch";
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  let normalized =
+    Array.map
+      (fun c ->
+        if c < 0 then -1
+        else
+          match Hashtbl.find_opt remap c with
+          | Some d -> d
+          | None ->
+              let d = !next in
+              incr next;
+              Hashtbl.add remap c d;
+              d)
+      cluster_of
+  in
+  let member_lists = Array.make !next [] in
+  for v = n - 1 downto 0 do
+    let c = normalized.(v) in
+    if c >= 0 then member_lists.(c) <- v :: member_lists.(c)
+  done;
+  { graph = g; cluster_of = normalized; num_clusters = !next; member_lists }
+
+let graph t = t.graph
+let cluster_of t v = t.cluster_of.(v)
+let num_clusters t = t.num_clusters
+let members t c = t.member_lists.(c)
+let clusters t = Array.to_list t.member_lists
+let sizes t = Array.map List.length t.member_lists
+
+let clustered_count t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.member_lists
+
+let unclustered t =
+  let acc = ref [] in
+  for v = Graph.n t.graph - 1 downto 0 do
+    if t.cluster_of.(v) < 0 then acc := v :: !acc
+  done;
+  !acc
+
+let largest_cluster t =
+  let best = ref (-1) and best_size = ref (-1) in
+  Array.iteri
+    (fun c l ->
+      let s = List.length l in
+      if s > !best_size then begin
+        best := c;
+        best_size := s
+      end)
+    t.member_lists;
+  !best
+
+let adjacent_cluster_pairs t =
+  let seen = Hashtbl.create 16 in
+  Graph.iter_edges t.graph (fun u v ->
+      let cu = t.cluster_of.(u) and cv = t.cluster_of.(v) in
+      if cu >= 0 && cv >= 0 && cu <> cv then begin
+        let key = (min cu cv, max cu cv) in
+        if not (Hashtbl.mem seen key) then Hashtbl.add seen key ()
+      end);
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+let non_adjacent t = adjacent_cluster_pairs t = []
+
+let strong_diameter t c = Bfs.diameter_of_set t.graph t.member_lists.(c)
+
+let max_strong_diameter t =
+  let worst = ref 0 in
+  let disconnected = ref false in
+  for c = 0 to t.num_clusters - 1 do
+    match strong_diameter t c with
+    | -1 -> disconnected := true
+    | d -> if d > !worst then worst := d
+  done;
+  if !disconnected then -1 else !worst
+
+let weak_diameter ?within t c =
+  Bfs.weak_diameter_of_set ?mask:within t.graph t.member_lists.(c)
+
+let max_weak_diameter ?within t =
+  let worst = ref 0 in
+  let disconnected = ref false in
+  for c = 0 to t.num_clusters - 1 do
+    match weak_diameter ?within t c with
+    | -1 -> disconnected := true
+    | d -> if d > !worst then worst := d
+  done;
+  if !disconnected then -1 else !worst
+
+let double_sweep ?mask t c =
+  match t.member_lists.(c) with
+  | [] | [ _ ] -> 0
+  | [ u; v ] ->
+      (* pair shortcut *)
+      if Graph.is_edge t.graph u v then 1
+      else if mask <> None then -1 (* two non-adjacent nodes, masked: apart *)
+      else
+        let dist = Bfs.distances t.graph ~source:u in
+        dist.(v)
+  | first :: _ as members ->
+      (* farthest member from [source]; None when some member unreachable *)
+      let sweep source =
+        let dist = Bfs.distances ?mask t.graph ~source in
+        List.fold_left
+          (fun acc v ->
+            match acc with
+            | None -> None
+            | Some (best_v, best_d) ->
+                if dist.(v) < 0 then None
+                else if dist.(v) > best_d then Some (v, dist.(v))
+                else Some (best_v, best_d))
+          (Some (source, 0))
+          members
+      in
+      (match sweep first with
+      | None -> -1
+      | Some (far, d1) -> (
+          match sweep far with None -> -1 | Some (_, d2) -> max d1 d2))
+
+let strong_diameter_estimate t c =
+  let mask = Mask.of_list (Graph.n t.graph) t.member_lists.(c) in
+  double_sweep ~mask t c
+
+let weak_diameter_estimate t c = double_sweep t c
+
+let estimate_max f t =
+  let worst = ref 0 in
+  let disconnected = ref false in
+  for c = 0 to t.num_clusters - 1 do
+    match f t c with
+    | -1 -> disconnected := true
+    | d -> if d > !worst then worst := d
+  done;
+  if !disconnected then -1 else !worst
+
+let max_strong_diameter_estimate t = estimate_max strong_diameter_estimate t
+let max_weak_diameter_estimate t = estimate_max weak_diameter_estimate t
+
+let pp fmt t =
+  Format.fprintf fmt "clustering(%d clusters, %d/%d nodes)" t.num_clusters
+    (clustered_count t) (Graph.n t.graph)

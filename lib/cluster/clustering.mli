@@ -1,0 +1,72 @@
+(** Clusterings: assignments of (a subset of) nodes to disjoint clusters.
+
+    A clustering does not carry colors (see {!Decomposition}) or dead-node
+    bookkeeping (see {!Carving}); it is the common core both build on.
+    Cluster identifiers are normalized to [0 .. num_clusters - 1];
+    unclustered nodes carry [-1]. *)
+
+type t
+
+val make : Dsgraph.Graph.t -> cluster_of:int array -> t
+(** [make g ~cluster_of] normalizes arbitrary non-negative cluster labels
+    to dense ids. [cluster_of.(v) < 0] marks [v] unclustered. The array is
+    copied. *)
+
+val graph : t -> Dsgraph.Graph.t
+
+val cluster_of : t -> int -> int
+(** [-1] when unclustered. *)
+
+val num_clusters : t -> int
+
+val members : t -> int -> int list
+(** Sorted members of a cluster. *)
+
+val clusters : t -> int list list
+(** All clusters' member lists, by cluster id. *)
+
+val sizes : t -> int array
+
+val clustered_count : t -> int
+
+val unclustered : t -> int list
+
+val largest_cluster : t -> int
+(** Id of a maximum-size cluster; [-1] if there are none. *)
+
+val non_adjacent : t -> bool
+(** True when no edge joins two {e distinct} clusters — the ball-carving
+    separation requirement. *)
+
+val adjacent_cluster_pairs : t -> (int * int) list
+(** Distinct-cluster pairs joined by at least one edge (each pair once). *)
+
+val strong_diameter : t -> int -> int
+(** Diameter of the subgraph induced by a cluster; [-1] if disconnected. *)
+
+val max_strong_diameter : t -> int
+(** Max over clusters; [-1] if any cluster is internally disconnected;
+    [0] when there are no clusters. *)
+
+val weak_diameter : ?within:Dsgraph.Mask.t -> t -> int -> int
+(** Max pairwise distance of a cluster's members measured in the (masked)
+    host graph. *)
+
+val max_weak_diameter : ?within:Dsgraph.Mask.t -> t -> int
+
+val strong_diameter_estimate : t -> int -> int
+(** Double-sweep estimate of {!strong_diameter}: BFS inside the cluster
+    from an arbitrary member, then from the farthest node found. Exact on
+    trees, a lower bound within a factor 2 in general, O(cluster) instead
+    of O(cluster²). [-1] when disconnected. Used by the measurement
+    harness at large [n]; the test suite cross-checks it against the exact
+    value on small graphs. *)
+
+val max_strong_diameter_estimate : t -> int
+
+val weak_diameter_estimate : t -> int -> int
+(** Double-sweep in the host graph between cluster members. *)
+
+val max_weak_diameter_estimate : t -> int
+
+val pp : Format.formatter -> t -> unit

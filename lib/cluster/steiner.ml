@@ -1,0 +1,117 @@
+open Dsgraph
+
+type tree = { root : int; parent : (int * int) list }
+type forest = tree array
+
+let nodes tree = List.sort_uniq compare (List.map fst tree.parent)
+
+let parent_table tree =
+  let tbl = Hashtbl.create (List.length tree.parent) in
+  List.iter
+    (fun (v, p) ->
+      if Hashtbl.mem tbl v then
+        invalid_arg "Steiner: node listed twice in tree"
+      else Hashtbl.add tbl v p)
+    tree.parent;
+  tbl
+
+let depth tree =
+  let tbl = parent_table tree in
+  let memo = Hashtbl.create 16 in
+  let rec dist v guard =
+    if guard > Hashtbl.length tbl then invalid_arg "Steiner.depth: cycle";
+    match Hashtbl.find_opt memo v with
+    | Some d -> d
+    | None ->
+        let d =
+          if v = tree.root then 0
+          else
+            match Hashtbl.find_opt tbl v with
+            | None -> invalid_arg "Steiner.depth: missing parent"
+            | Some p -> 1 + dist p (guard + 1)
+        in
+        Hashtbl.replace memo v d;
+        d
+  in
+  List.fold_left (fun acc (v, _) -> max acc (dist v 0)) 0 tree.parent
+
+let check g tree ~terminals =
+  let ( let* ) r f = Result.bind r f in
+  let tbl =
+    try Ok (parent_table tree)
+    with Invalid_argument m -> Error m
+  in
+  let* tbl = tbl in
+  let* () =
+    if Hashtbl.find_opt tbl tree.root = Some tree.root then Ok ()
+    else Error "Steiner.check: root missing or root parent not itself"
+  in
+  let* () =
+    Hashtbl.fold
+      (fun v p acc ->
+        let* () = acc in
+        if v = tree.root then Ok ()
+        else if v = p then Error "Steiner.check: non-root self-parent"
+        else if Graph.is_edge g v p then Ok ()
+        else
+          Error
+            (Printf.sprintf "Steiner.check: (%d,%d) is not a graph edge" v p))
+      tbl (Ok ())
+  in
+  let* () =
+    (* all chains reach the root without cycling *)
+    try
+      ignore (depth tree);
+      Ok ()
+    with Invalid_argument m -> Error m
+  in
+  List.fold_left
+    (fun acc t ->
+      let* () = acc in
+      if Hashtbl.mem tbl t then Ok ()
+      else Error (Printf.sprintf "Steiner.check: terminal %d not in tree" t))
+    (Ok ()) terminals
+
+let congestion g forest =
+  let counts = Hashtbl.create (Graph.m g) in
+  Array.iter
+    (fun tree ->
+      List.iter
+        (fun (v, p) ->
+          if v <> p then begin
+            let key = (min v p, max v p) in
+            Hashtbl.replace counts key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          end)
+        tree.parent)
+    forest;
+  Hashtbl.fold (fun _ c acc -> max c acc) counts 0
+
+let check_forest g forest ~clustering ~depth_bound ~congestion_bound =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    if Array.length forest = Clustering.num_clusters clustering then Ok ()
+    else Error "Steiner.check_forest: tree count <> cluster count"
+  in
+  let* () =
+    Array.to_list forest
+    |> List.mapi (fun c tree -> (c, tree))
+    |> List.fold_left
+         (fun acc (c, tree) ->
+           let* () = acc in
+           let* () = check g tree ~terminals:(Clustering.members clustering c) in
+           let d = depth tree in
+           if d > depth_bound then
+             Error
+               (Printf.sprintf
+                  "Steiner.check_forest: cluster %d tree depth %d > bound %d" c
+                  d depth_bound)
+           else Ok ())
+         (Ok ())
+  in
+  let l = congestion g forest in
+  if l > congestion_bound then
+    Error
+      (Printf.sprintf "Steiner.check_forest: congestion %d > bound %d" l
+         congestion_bound)
+  else Ok ()

@@ -1,0 +1,8 @@
+let int_bits v =
+  if v < 0 then invalid_arg "Bits.int_bits: negative";
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  max 1 (go 0 v)
+
+let id_bits ~n = max 1 (int_bits (max 0 (n - 1)))
+
+let bandwidth ~n = (2 * id_bits ~n) + 8

@@ -1,0 +1,13 @@
+(** Message-size bookkeeping. A CONGEST message is [B = O(log n)] bits; we
+    charge each field of a message the number of bits it needs. *)
+
+val int_bits : int -> int
+(** Bits to represent a non-negative integer value ([int_bits 0 = 1]). *)
+
+val id_bits : n:int -> int
+(** Bits of a node identifier in an [n]-node network: [ceil(log2 n)],
+    at least 1. *)
+
+val bandwidth : n:int -> int
+(** The standard CONGEST bandwidth used throughout: [2 * id_bits + 8]
+    bits, enough for a message tag plus two identifiers/counters. *)

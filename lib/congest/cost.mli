@@ -1,0 +1,46 @@
+(** Round-cost meter for CONGEST-model algorithms.
+
+    The polylogarithmic-round algorithms in this repository execute at
+    {i step} granularity (a step = one BFS wave, one Steiner-tree
+    convergecast, one cluster-growing exchange, ...) and charge this meter
+    the number of CONGEST rounds the step costs, together with message
+    counts and the maximum message size in bits. This keeps execution
+    feasible at interesting [n] while reporting honest round complexities;
+    the charging formulas are listed in DESIGN.md §5 and anchored against
+    the true synchronous simulator ({!Sim}) in the test suite. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> ?rounds:int -> ?messages:int -> ?max_bits:int -> string -> unit
+(** [charge t ~rounds ~messages ~max_bits tag] adds [rounds] CONGEST rounds
+    (default 1) under the breakdown key [tag], plus [messages] messages
+    (default 0) and updates the maximum observed message size. *)
+
+val rounds : t -> int
+(** Total rounds charged. *)
+
+val messages : t -> int
+
+val max_message_bits : t -> int
+(** Largest single message charged, in bits; 0 if none recorded. *)
+
+val breakdown : t -> (string * int) list
+(** Rounds per tag, sorted by tag. *)
+
+val reset : t -> unit
+
+val merge_max : t -> t -> unit
+(** [merge_max acc other] adds [other]'s rounds as if it ran {i in
+    parallel} with previously merged meters under the same tag — used when
+    independent components execute simultaneously: the per-tag cost is the
+    max, message counts still add. (Simplified: callers that need parallel
+    semantics should use {!val:parallel} instead.) *)
+
+val parallel : t -> t list -> string -> unit
+(** [parallel acc metered tag] charges [acc] the {e maximum} round count
+    among the [metered] sub-meters (components running simultaneously) and
+    the {e sum} of their messages, under [tag]. *)
+
+val pp : Format.formatter -> t -> unit

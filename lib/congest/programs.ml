@@ -1,0 +1,138 @@
+open Dsgraph
+
+(* ------------------------------------------------------------------ *)
+(* Leader election: flood the minimum identifier.                      *)
+(* ------------------------------------------------------------------ *)
+
+type leader_state = { best : int; dirty : bool }
+
+let leader_election g =
+  let n = Graph.n g in
+  let id_bits = Bits.id_bits ~n in
+  let program =
+    {
+      Sim.init = (fun ~node ~neighbors:_ -> { best = node; dirty = true });
+      round =
+        (fun ~node ~state ~inbox ->
+          ignore node;
+          let best =
+            List.fold_left (fun acc (_, m) -> min acc m) state.best inbox
+          in
+          if state.dirty || best < state.best then
+            let out =
+              Array.to_list
+                (Array.map (fun nb -> (nb, best)) (Graph.neighbors g node))
+            in
+            ({ best; dirty = false }, out, false)
+          else ({ best; dirty = false }, [], true));
+    }
+  in
+  let states, stats = Sim.run ~bits:(fun _ -> id_bits) g program in
+  (Array.map (fun s -> s.best) states, stats)
+
+(* ------------------------------------------------------------------ *)
+(* BFS wave.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type bfs_state = { dist : int; parent : int; announced : bool }
+
+let bfs g ~source =
+  let n = Graph.n g in
+  let msg_bits = Bits.int_bits (max 1 n) in
+  let program =
+    {
+      Sim.init =
+        (fun ~node ~neighbors:_ ->
+          if node = source then { dist = 0; parent = source; announced = false }
+          else { dist = -1; parent = -1; announced = false });
+      round =
+        (fun ~node ~state ~inbox ->
+          let state =
+            if state.dist >= 0 then state
+            else
+              match inbox with
+              | [] -> state
+              | (u, d) :: rest ->
+                  let best_u, best_d =
+                    List.fold_left
+                      (fun (bu, bd) (u', d') ->
+                        if d' < bd then (u', d') else (bu, bd))
+                      (u, d) rest
+                  in
+                  { dist = best_d + 1; parent = best_u; announced = false }
+          in
+          if state.dist >= 0 && not state.announced then
+            let out =
+              Array.to_list
+                (Array.map
+                   (fun nb -> (nb, state.dist))
+                   (Graph.neighbors g node))
+            in
+            ({ state with announced = true }, out, false)
+          else (state, [], true));
+    }
+  in
+  let states, stats = Sim.run ~bits:(fun _ -> msg_bits) g program in
+  ((Array.map (fun s -> s.dist) states, Array.map (fun s -> s.parent) states), stats)
+
+(* ------------------------------------------------------------------ *)
+(* Subtree counting (convergecast).                                    *)
+(* ------------------------------------------------------------------ *)
+
+type count_msg = Child | Count of int
+
+type count_state = {
+  round_no : int;
+  pending : int; (* children that have not reported yet *)
+  total : int;
+  sent_up : bool;
+}
+
+(* Timing invariant: every node sends [Child] to its parent in round 1, so
+   all [Child] messages arrive exactly in round 2; [Count] messages are sent
+   in rounds >= 2 and arrive in rounds >= 3. Hence after processing the
+   round-2 inbox, [pending] equals the true child count, and from round 2 on
+   [pending = 0] means the whole subtree has reported. *)
+let subtree_counts g ~parent =
+  let n = Graph.n g in
+  let msg_bits = Bits.int_bits (max 1 n) + 1 in
+  let program =
+    {
+      Sim.init =
+        (fun ~node ~neighbors:_ ->
+          ignore node;
+          { round_no = 0; pending = 0; total = 1; sent_up = false });
+      round =
+        (fun ~node ~state ~inbox ->
+          if parent.(node) = -1 then (state, [], true)
+          else
+            let state = { state with round_no = state.round_no + 1 } in
+            if state.round_no = 1 then
+              let out =
+                if parent.(node) <> node then [ (parent.(node), Child) ] else []
+              in
+              (state, out, false)
+            else
+              let state =
+                List.fold_left
+                  (fun st (_, m) ->
+                    match m with
+                    | Child -> { st with pending = st.pending + 1 }
+                    | Count c ->
+                        { st with pending = st.pending - 1; total = st.total + c })
+                  state inbox
+              in
+              let is_root = parent.(node) = node in
+              if state.pending = 0 && not state.sent_up && not is_root then
+                ( { state with sent_up = true },
+                  [ (parent.(node), Count state.total) ],
+                  false )
+              else (state, [], state.sent_up || (is_root && state.pending = 0)));
+    }
+  in
+  let states, stats =
+    Sim.run
+      ~bits:(fun m -> match m with Child -> 1 | Count _ -> msg_bits)
+      g program
+  in
+  (Array.map (fun s -> s.total) states, stats)

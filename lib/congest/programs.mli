@@ -1,0 +1,19 @@
+(** Classic CONGEST node programs, used to validate the simulator and to
+    anchor the {!Cost} charging formulas: a radius-[r] BFS wave really does
+    take [r + O(1)] rounds, a convergecast over a depth-[d] tree takes
+    [d + O(1)] rounds, and all messages stay within [O(log n)] bits. *)
+
+val leader_election : Dsgraph.Graph.t -> int array * Sim.stats
+(** Min-identifier flooding. Returns the leader elected at each node (all
+    equal to the component's minimum id) and run statistics; terminates in
+    [O(diameter)] rounds on connected graphs. *)
+
+val bfs : Dsgraph.Graph.t -> source:int -> (int array * int array) * Sim.stats
+(** Distributed BFS from [source]: per-node [(dist, parent)] with [-1] for
+    unreached, [parent.(source) = source]. *)
+
+val subtree_counts :
+  Dsgraph.Graph.t -> parent:int array -> int array * Sim.stats
+(** Convergecast over a rooted spanning forest given by [parent] (root has
+    [parent.(v) = v]; [-1] = not in any tree): each node ends with the size
+    of its subtree. *)

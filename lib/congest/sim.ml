@@ -1,0 +1,78 @@
+open Dsgraph
+
+exception Bandwidth_exceeded of { node : int; bits : int; bandwidth : int }
+
+type ('st, 'msg) program = {
+  init : node:int -> neighbors:int array -> 'st;
+  round :
+    node:int ->
+    state:'st ->
+    inbox:(int * 'msg) list ->
+    'st * (int * 'msg) list * bool;
+}
+
+type stats = {
+  rounds_used : int;
+  total_messages : int;
+  max_bits_seen : int;
+  all_halted : bool;
+}
+
+let run ?max_rounds ?bandwidth ~bits g program =
+  let n = Graph.n g in
+  let max_rounds = Option.value max_rounds ~default:((4 * n) + 16) in
+  let bandwidth = Option.value bandwidth ~default:(Bits.bandwidth ~n) in
+  let states = Array.init n (fun v -> program.init ~node:v ~neighbors:(Graph.neighbors g v)) in
+  let inboxes = Array.make n [] in
+  let next_inboxes = Array.make n [] in
+  let halted = Array.make n false in
+  let total_messages = ref 0 in
+  let max_bits_seen = ref 0 in
+  let rounds_used = ref 0 in
+  let messages_in_flight = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds_used < max_rounds do
+    incr rounds_used;
+    let sent_this_round = ref 0 in
+    for v = 0 to n - 1 do
+      let state, outgoing, halt =
+        program.round ~node:v ~state:states.(v) ~inbox:inboxes.(v)
+      in
+      states.(v) <- state;
+      halted.(v) <- halt;
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun (dst, msg) ->
+          if not (Graph.is_edge g v dst) then
+            invalid_arg
+              (Printf.sprintf "Sim.run: node %d sent to non-neighbor %d" v dst);
+          if Hashtbl.mem seen dst then
+            invalid_arg
+              (Printf.sprintf "Sim.run: node %d sent twice to %d in one round" v
+                 dst);
+          Hashtbl.add seen dst ();
+          let b = bits msg in
+          if b > bandwidth then
+            raise (Bandwidth_exceeded { node = v; bits = b; bandwidth });
+          if b > !max_bits_seen then max_bits_seen := b;
+          incr total_messages;
+          incr sent_this_round;
+          next_inboxes.(dst) <- (v, msg) :: next_inboxes.(dst))
+        outgoing
+    done;
+    for v = 0 to n - 1 do
+      inboxes.(v) <- List.rev next_inboxes.(v);
+      next_inboxes.(v) <- []
+    done;
+    messages_in_flight := !sent_this_round;
+    let all_halted = Array.for_all (fun h -> h) halted in
+    if all_halted && !messages_in_flight = 0 then continue := false
+  done;
+  let all_halted = Array.for_all (fun h -> h) halted in
+  ( states,
+    {
+      rounds_used = !rounds_used;
+      total_messages = !total_messages;
+      max_bits_seen = !max_bits_seen;
+      all_halted;
+    } )

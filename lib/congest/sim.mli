@@ -1,0 +1,42 @@
+(** Faithful synchronous CONGEST simulator.
+
+    Nodes run the same program; per round each node reads its inbox (one
+    message per neighbor at most), updates its state, and emits at most one
+    message per incident edge. Message sizes are measured by a user-supplied
+    [bits] function and checked against the bandwidth; exceeding it raises
+    {!Bandwidth_exceeded} — this is how the ABCP96 baseline's unbounded
+    messages are surfaced. *)
+
+exception Bandwidth_exceeded of { node : int; bits : int; bandwidth : int }
+
+type ('st, 'msg) program = {
+  init : node:int -> neighbors:int array -> 'st;
+      (** Initial state; a node knows its own identifier and its neighbors'
+          (standard after one round of identifier exchange). *)
+  round :
+    node:int ->
+    state:'st ->
+    inbox:(int * 'msg) list ->
+    'st * (int * 'msg) list * bool;
+      (** [round ~node ~state ~inbox] returns the new state, outgoing
+          [(neighbor, message)] pairs, and whether the node votes to halt.
+          Sending twice to the same neighbor in one round is rejected. *)
+}
+
+type stats = {
+  rounds_used : int;
+  total_messages : int;
+  max_bits_seen : int;
+  all_halted : bool;  (** false when stopped by [max_rounds] *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?bandwidth:int ->
+  bits:('msg -> int) ->
+  Dsgraph.Graph.t ->
+  ('st, 'msg) program ->
+  'st array * stats
+(** Runs until every node votes to halt {e and} no message is in flight, or
+    until [max_rounds] (default [4 * n + 16]). [bandwidth] defaults to
+    {!Bits.bandwidth}. Returns final states. *)

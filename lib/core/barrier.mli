@@ -1,0 +1,32 @@
+(** The Section 3 barrier construction: a graph on which the
+    [O(log^2 n/ε)] diameter bound of Lemma 3.1 is tight.
+
+    Take a constant-degree expander [G_1] on [n' = O(ε n / log n)] nodes
+    and subdivide every edge into a path of length [~ log n / ε]. The
+    resulting graph [G_2] has conductance [Θ(ε/log n)] — so it has no
+    balanced sparse cut with a small separator — and every subgraph on a
+    constant fraction of the nodes must contain a long expander path, so
+    its diameter is [Ω(log^2 n/ε)]. *)
+
+val build : ?epsilon:float -> Dsgraph.Rng.t -> target_n:int -> Dsgraph.Graph.t
+(** [build rng ~target_n] constructs a barrier graph with roughly
+    [target_n] nodes for boundary parameter [epsilon] (default [1/2]):
+    base expander size [n' = max(8, ε·n/ln n)] rounded to even, each edge
+    subdivided into a path of length [round(ln n / ε)]. *)
+
+type analysis = {
+  n : int;
+  outcome : [ `Cut | `Component ];  (** what Lemma 3.1 returned *)
+  separator_size : int;
+      (** removed-layer size (cut) or boundary size (component) *)
+  separator_bound : float;  (** the [ε n / ln n] scale it is compared to *)
+  u_diameter : int;  (** diameter of the returned component; -1 for cuts *)
+  diameter_scale : float;  (** the [ln^2 n / ε] scale *)
+}
+
+val analyze : ?epsilon:float -> Dsgraph.Graph.t -> analysis
+(** Run Lemma 3.1 on the graph and measure the outcome against the
+    barrier scales. On a barrier graph, whichever branch fires must pay:
+    a cut needs [Ω(ε n/log n)] removed nodes, a component has diameter
+    [Ω(log^2 n/ε)]. On benign graphs (e.g. grids) the same probe returns
+    much cheaper outcomes — the contrast is experiment F.BARRIER. *)

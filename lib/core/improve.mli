@@ -1,0 +1,40 @@
+(** Theorem 3.2: improving the diameter of a strong-diameter ball carving
+    to [O(log^2 n/ε)] via recursive application of Lemma 3.1
+    ({!Sparse_cut}).
+
+    Level-synchronously: run the given strong carver [A] with boundary
+    parameter [Θ(ε/log n)] on the active parts (pairwise non-adjacent by
+    construction), then run Lemma 3.1 on each resulting cluster. A
+    balanced sparse cut recurses on both sides (killing the separating
+    layer); a large small-diameter component joins the final clustering
+    (killing its outside boundary) and the remainder recurses. Every part
+    shrinks by a factor [>= 3/2] per level, so there are [O(log n)]
+    levels. *)
+
+type strong_carver =
+  ?cost:Congest.Cost.t ->
+  Dsgraph.Graph.t ->
+  domain:Dsgraph.Mask.t ->
+  epsilon:float ->
+  Cluster.Carving.t
+(** The black box [A] of Theorem 3.2: any strong-diameter ball carving. *)
+
+type stats = {
+  levels : int;
+  carver_invocations : int;
+  lemma_invocations : int;
+  cuts_taken : int;
+  components_taken : int;
+}
+
+val improve :
+  ?cost:Congest.Cost.t ->
+  strong:strong_carver ->
+  ?domain:Dsgraph.Mask.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t * stats
+(** Output contract: clusters pairwise non-adjacent, each inducing a
+    connected subgraph with the [O(log^2 n/ε)] diameter shape; at most an
+    [ε] fraction of the domain dead (enforced by the constant choices in
+    the implementation, verified by the test suite). *)

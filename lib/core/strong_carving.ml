@@ -1,0 +1,29 @@
+let weak_of_preset preset : Transform.weak_carver =
+ fun ?cost g ~domain ~epsilon ->
+  let r = Weakdiam.Weak_carving.carve ~preset ?cost ~domain g ~epsilon in
+  {
+    Transform.clustering = r.carving.Cluster.Carving.clustering;
+    forest = r.forest;
+    depth = r.max_depth;
+    congestion = r.congestion;
+  }
+
+let carve ?cost ?(preset = Weakdiam.Weak_carving.default_preset) ?domain g
+    ~epsilon =
+  Transform.strong_carve ?cost ~weak:(weak_of_preset preset) ?domain g ~epsilon
+
+let carve_improved ?cost ?(preset = Weakdiam.Weak_carving.default_preset)
+    ?domain g ~epsilon =
+  let strong ?cost g ~domain ~epsilon =
+    fst (carve ?cost ~preset ~domain g ~epsilon)
+  in
+  Improve.improve ?cost ~strong ?domain g ~epsilon
+
+type carver =
+  ?cost:Congest.Cost.t ->
+  ?domain:Dsgraph.Mask.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t
+
+let as_carver f : carver = fun ?cost ?domain g ~epsilon -> fst (f ?cost ?domain g ~epsilon)

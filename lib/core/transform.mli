@@ -1,0 +1,80 @@
+(** Theorem 2.1 — the paper's core contribution: a message-efficient
+    deterministic transformation from {e any} weak-diameter ball carving
+    algorithm [A] into a strong-diameter ball carving algorithm [B].
+
+    The transformation runs [log n] size-halving iterations. In iteration
+    [i], on each connected component [S] of alive nodes (guaranteed
+    [|S| <= n/2^(i-1)]), it invokes [A] with boundary parameter
+    [ε' = ε/(2 log n)]:
+    - {b Case I}: every weak cluster has at most [n/2^i] nodes. Then [A]'s
+      unclustered nodes die and each alive component (a subset of one
+      cluster) moves to the next iteration.
+    - {b Case II}: some cluster [C] exceeds [n/2^i] nodes (at most one
+      can). A BFS from the root [a] of [C]'s Steiner tree grows a ball,
+      starting at the tree depth and for [O(log n/ε)] more hops, until a
+      radius [r*] with [|B_{r*}| >= (1 - ε/2)·|B_{r*+1}|] appears. The
+      ball [B_{r*}(a)] — which covers all of [C] — becomes one cluster of
+      the output, the next layer dies, and the remaining components
+      (each [<= n/2^i] nodes) move on.
+
+    Dead fraction: [≤ ε/2] from the [A]-invocations plus [≤ ε/2] from the
+    carved-ball boundaries, i.e. [≤ ε] total. Each output cluster has
+    strong diameter [<= 2·R(n, ε/(2 log n)) + O(log n/ε)]. *)
+
+type weak_result = {
+  clustering : Cluster.Clustering.t;
+      (** non-adjacent clusters on the domain; unclustered = removed *)
+  forest : Cluster.Steiner.forest;
+  depth : int;  (** measured Steiner depth [R] *)
+  congestion : int;  (** measured congestion [L] *)
+}
+
+type weak_carver =
+  ?cost:Congest.Cost.t ->
+  Dsgraph.Graph.t ->
+  domain:Dsgraph.Mask.t ->
+  epsilon:float ->
+  weak_result
+(** The black box [A] of Theorem 2.1. *)
+
+type stats = {
+  iterations : int;  (** size-halving levels actually used *)
+  weak_invocations : int;
+  max_ball_radius : int;  (** largest [r*] used in Case II *)
+}
+
+val strong_carve :
+  ?cost:Congest.Cost.t ->
+  weak:weak_carver ->
+  ?domain:Dsgraph.Mask.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t * stats
+(** [strong_carve ~weak g ~epsilon] removes at most an [ε] fraction of the
+    domain so that every cluster (equivalently, every remaining connected
+    component) induces a connected subgraph of bounded diameter.
+
+    Cost charging (DESIGN.md §5): components of one iteration level run in
+    parallel (per-level round cost = max over components); per component,
+    the [A] invocation charges through the shared meter, the giant-cluster
+    size check charges [depth·congestion] rounds, and the Case II BFS
+    charges [r* + 1] rounds. *)
+
+val ball_growth_limit : n:int -> epsilon:float -> int
+(** The number of radius-growth steps [O(log n/ε)] Case II may need:
+    smallest [K] with [(1/(1-ε/2))^K > n]. Exposed for tests. *)
+
+val strong_carve_unknown_n :
+  ?cost:Congest.Cost.t ->
+  weak:weak_carver ->
+  ?domain:Dsgraph.Mask.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t
+(** The paper's Section 2 remark: Theorem 2.1 assumes the node count is
+    global knowledge, and the assumption is removed by first running the
+    weak carving with boundary parameter [ε/2], letting each cluster count
+    its own [n' = |C|], and then applying the transformation inside each
+    cluster with parameter [ε/2] (using that cluster-local [n']). This
+    function implements exactly that wrapper; dead fraction
+    [<= ε/2 + ε/2 = ε], same diameter shape. *)

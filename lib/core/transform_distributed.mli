@@ -1,0 +1,45 @@
+(** Theorem 2.1 executed as a sequence of {e genuinely distributed} stages
+    on {!Congest.Sim} — the paper's own algorithm as message passing.
+
+    Each size-halving iteration runs, per connected component of alive
+    nodes:
+    + the weak-diameter carving as a real node program
+      ({!Weakdiam.Distributed}),
+    + the Case II ball carving as three more node programs: a BFS wave
+      from the giant cluster's Steiner root, repeated paired-count
+      convergecasts over the BFS tree (how many nodes lie within radius
+      [r] and [r+1]) until the [|B_r| >= (1-ε/2)·|B_{r+1}|] radius is
+      found, and a broadcast of [r*] after which each node decides
+      locally whether it is clustered, dead, or survives to the next
+      iteration.
+
+    The harness only orchestrates stage boundaries and carries each
+    node's own local state between stages; all communication inside a
+    stage is simulated message passing within the CONGEST bandwidth. As
+    with {!Weakdiam.Distributed}, schedule lengths and the giant-cluster
+    threshold comparison are oracle-assisted (worst-case bounds in a real
+    deployment); the test suite asserts the result equals the
+    centralized {!Transform.strong_carve} exactly. *)
+
+type stats = {
+  iterations : int;
+  weak_rounds : int;  (** simulated rounds in the weak-carving stages
+                          (parallel components: max per iteration) *)
+  ball_rounds : int;  (** simulated rounds in the Case II stages *)
+  max_bits : int;  (** largest message over all stages *)
+  all_matched : bool;  (** every weak stage matched its engine *)
+}
+
+val strong_carve :
+  ?preset:Weakdiam.Weak_carving.preset ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t * stats
+
+val matches_centralized :
+  ?preset:Weakdiam.Weak_carving.preset ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  bool
+(** Runs both the distributed and the centralized Theorem 2.1 and compares
+    the clusterings node by node. *)

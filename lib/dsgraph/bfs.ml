@@ -1,0 +1,111 @@
+let alive mask v =
+  match mask with None -> true | Some m -> Mask.mem m v
+
+let multi_distances ?mask g ~sources =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if alive mask s && dist.(s) = -1 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if alive mask v && dist.(v) = -1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let distances ?mask g ~source = multi_distances ?mask g ~sources:[ source ]
+
+let parents ?mask g ~source =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  if alive mask source then begin
+    parent.(source) <- source;
+    let queue = Queue.create () in
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Graph.iter_neighbors g u (fun v ->
+          if alive mask v && parent.(v) = -1 then begin
+            parent.(v) <- u;
+            Queue.add v queue
+          end)
+    done
+  end;
+  parent
+
+let ball ?mask g ~center ~radius =
+  let dist = distances ?mask g ~source:center in
+  let acc = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if dist.(v) >= 0 && dist.(v) <= radius then acc := v :: !acc
+  done;
+  !acc
+
+let layer_sizes ?mask g ~sources =
+  let dist = multi_distances ?mask g ~sources in
+  let maxd = Array.fold_left max 0 dist in
+  let counts = Array.make (maxd + 1) 0 in
+  Array.iter (fun d -> if d >= 0 then counts.(d) <- counts.(d) + 1) dist;
+  (* cumulative *)
+  for r = 1 to maxd do
+    counts.(r) <- counts.(r) + counts.(r - 1)
+  done;
+  counts
+
+let eccentricity ?mask g v =
+  let dist = distances ?mask g ~source:v in
+  Array.fold_left max 0 dist
+
+let diameter_of_set g set =
+  match set with
+  | [] | [ _ ] -> 0
+  | _ ->
+      let mask = Mask.of_list (Graph.n g) set in
+      let diam = ref 0 in
+      let disconnected = ref false in
+      List.iter
+        (fun s ->
+          let dist = distances ~mask g ~source:s in
+          List.iter
+            (fun v ->
+              if dist.(v) = -1 then disconnected := true
+              else if dist.(v) > !diam then diam := dist.(v))
+            set)
+        set;
+      if !disconnected then -1 else !diam
+
+let weak_diameter_of_set ?mask g set =
+  match set with
+  | [] | [ _ ] -> 0
+  | _ ->
+      let diam = ref 0 in
+      let disconnected = ref false in
+      List.iter
+        (fun s ->
+          let dist = distances ?mask g ~source:s in
+          List.iter
+            (fun v ->
+              if dist.(v) = -1 then disconnected := true
+              else if dist.(v) > !diam then diam := dist.(v))
+            set)
+        set;
+      if !disconnected then -1 else !diam
+
+let component_of ?mask g v =
+  if not (alive mask v) then []
+  else
+    let dist = distances ?mask g ~source:v in
+    let acc = ref [] in
+    for u = Graph.n g - 1 downto 0 do
+      if dist.(u) >= 0 then acc := u :: !acc
+    done;
+    !acc

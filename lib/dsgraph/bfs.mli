@@ -1,0 +1,38 @@
+(** Breadth-first traversals, with optional alive-masks.
+
+    These are the sequential reference implementations; the CONGEST-model
+    algorithms charge their round cost separately (see [Congest.Cost]).
+    Distances are hop counts; [-1] means unreachable (or outside the mask). *)
+
+val distances : ?mask:Mask.t -> Graph.t -> source:int -> int array
+(** Single-source BFS distances in [G\[mask\]]. *)
+
+val multi_distances : ?mask:Mask.t -> Graph.t -> sources:int list -> int array
+(** Multi-source BFS: distance to the nearest source. *)
+
+val parents : ?mask:Mask.t -> Graph.t -> source:int -> int array
+(** BFS-tree parent pointers; [parents.(source) = source], [-1] if
+    unreachable. *)
+
+val ball : ?mask:Mask.t -> Graph.t -> center:int -> radius:int -> int list
+(** Nodes at distance [<= radius] from [center] in [G\[mask\]]. *)
+
+val layer_sizes : ?mask:Mask.t -> Graph.t -> sources:int list -> int array
+(** [layer_sizes g ~sources] where cell [r] holds [|B_r(sources)|], the
+    number of nodes within distance [r]; the array extends to the largest
+    finite distance. Cumulative, i.e. non-decreasing. *)
+
+val eccentricity : ?mask:Mask.t -> Graph.t -> int -> int
+(** Largest finite distance from the node within its component. *)
+
+val diameter_of_set : Graph.t -> int list -> int
+(** Strong diameter of the sub{i graph induced by} the set: max pairwise
+    distance measured inside the set. Returns [-1] if the induced subgraph
+    is disconnected, [0] for singletons and the empty set. O(k·(k+m)). *)
+
+val weak_diameter_of_set : ?mask:Mask.t -> Graph.t -> int list -> int
+(** Max pairwise distance between set members measured in [G\[mask\]]
+    (paths may leave the set). [-1] if some pair is disconnected. *)
+
+val component_of : ?mask:Mask.t -> Graph.t -> int -> int list
+(** The connected component of a node in [G\[mask\]], sorted. *)

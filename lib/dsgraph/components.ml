@@ -1,0 +1,44 @@
+let alive mask v =
+  match mask with None -> true | Some m -> Mask.mem m v
+
+let component_ids ?mask g =
+  let n = Graph.n g in
+  let ids = Array.make n (-1) in
+  let next = ref 0 in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if alive mask s && ids.(s) = -1 then begin
+      let id = !next in
+      incr next;
+      ids.(s) <- id;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.iter_neighbors g u (fun v ->
+            if alive mask v && ids.(v) = -1 then begin
+              ids.(v) <- id;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  (ids, !next)
+
+let components ?mask g =
+  let ids, k = component_ids ?mask g in
+  let buckets = Array.make k [] in
+  for v = Graph.n g - 1 downto 0 do
+    let id = ids.(v) in
+    if id >= 0 then buckets.(id) <- v :: buckets.(id)
+  done;
+  Array.to_list buckets
+
+let is_connected ?mask g =
+  let _, k = component_ids ?mask g in
+  k <= 1
+
+let largest ?mask g =
+  let comps = components ?mask g in
+  List.fold_left
+    (fun best c -> if List.length c > List.length best then c else best)
+    [] comps

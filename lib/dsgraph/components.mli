@@ -1,0 +1,14 @@
+(** Connected components of (masked) graphs. *)
+
+val component_ids : ?mask:Mask.t -> Graph.t -> int array * int
+(** [(ids, k)] where [ids.(v)] is the component index of [v] in [G\[mask\]]
+    ([-1] for nodes outside the mask) and [k] the number of components. *)
+
+val components : ?mask:Mask.t -> Graph.t -> int list list
+(** Components as sorted node lists, ordered by smallest member. *)
+
+val is_connected : ?mask:Mask.t -> Graph.t -> bool
+(** True when [G\[mask\]] has at most one component. *)
+
+val largest : ?mask:Mask.t -> Graph.t -> int list
+(** Nodes of a largest component ([\[\]] when the mask is empty). *)

@@ -1,0 +1,308 @@
+let path n =
+  Graph.create ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.create ~n ~edges:((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let star n =
+  Graph.create ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Gen.grid: need positive dimensions";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
+    done
+  done;
+  Graph.create ~n:(w * h) ~edges:!edges
+
+let torus w h =
+  if w < 3 || h < 3 then invalid_arg "Gen.torus: need w, h >= 3";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      edges := (id x y, id ((x + 1) mod w) y) :: !edges;
+      edges := (id x y, id x ((y + 1) mod h)) :: !edges
+    done
+  done;
+  Graph.create ~n:(w * h) ~edges:!edges
+
+let binary_tree n =
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, (v - 1) / 2) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let random_tree rng n =
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, Rng.int rng v) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let hypercube d =
+  if d < 1 then invalid_arg "Gen.hypercube: need d >= 1";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let u = v lxor (1 lsl b) in
+      if u > v then edges := (v, u) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let erdos_renyi rng n p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+(* One random perfect matching on [0..n-1] avoiding self-pairs that would
+   collide with [forbidden]; returns pairs. *)
+let random_matching rng n forbidden =
+  let max_attempts = 200 in
+  let rec attempt k =
+    if k >= max_attempts then None
+    else
+      let p = Rng.permutation rng n in
+      let ok = ref true in
+      let pairs = ref [] in
+      let i = ref 0 in
+      while !ok && !i < n do
+        let u = p.(!i) and v = p.(!i + 1) in
+        if forbidden u v then ok := false
+        else pairs := ((min u v, max u v) : int * int) :: !pairs;
+        i := !i + 2
+      done;
+      if !ok then Some !pairs else attempt (k + 1)
+  in
+  attempt 0
+
+let random_regular rng n d =
+  if n * d mod 2 <> 0 then invalid_arg "Gen.random_regular: n*d must be even";
+  if d >= n then invalid_arg "Gen.random_regular: need d < n";
+  if d mod 2 = 1 && n mod 2 = 1 then
+    invalid_arg "Gen.random_regular: odd d needs even n";
+  (* union of d matchings (n even) — for odd n with even d use d/2 random
+     hamiltonian-cycle-ish 2-factors via permutations *)
+  let seen = Hashtbl.create (n * d) in
+  let forbidden u v = u = v || Hashtbl.mem seen (min u v, max u v) in
+  let edges = ref [] in
+  if n mod 2 = 0 then
+    for _ = 1 to d do
+      match random_matching rng n forbidden with
+      | Some pairs ->
+          List.iter
+            (fun (u, v) ->
+              Hashtbl.add seen (u, v) ();
+              edges := (u, v) :: !edges)
+            pairs
+      | None -> failwith "Gen.random_regular: could not complete matching"
+    done
+  else
+    (* odd n, even d: d/2 random cyclic 2-factors *)
+    for _ = 1 to d / 2 do
+      let rec attempt k =
+        if k >= 200 then failwith "Gen.random_regular: could not complete cycle"
+        else
+          let p = Rng.permutation rng n in
+          let ok = ref true in
+          let pairs = ref [] in
+          for i = 0 to n - 1 do
+            let u = p.(i) and v = p.((i + 1) mod n) in
+            if forbidden u v then ok := false
+            else pairs := (min u v, max u v) :: !pairs
+          done;
+          (* the pairs list may contain duplicates within this attempt *)
+          let sorted = List.sort_uniq compare !pairs in
+          if !ok && List.length sorted = n then sorted else attempt (k + 1)
+      in
+      let pairs = attempt 0 in
+      List.iter
+        (fun (u, v) ->
+          Hashtbl.add seen (u, v) ();
+          edges := (u, v) :: !edges)
+        pairs
+    done;
+  Graph.create ~n ~edges:!edges
+
+let rec expander rng n =
+  let g = random_regular rng n 4 in
+  if Components.is_connected g then g else expander rng n
+
+let subdivide g k =
+  if k < 0 then invalid_arg "Gen.subdivide: k must be >= 0";
+  if k = 0 then g
+  else begin
+    let n = Graph.n g in
+    let next = ref n in
+    let edges = ref [] in
+    Graph.iter_edges g (fun u v ->
+        (* replace (u,v) by u - w1 - ... - wk - v *)
+        let first = !next in
+        next := !next + k;
+        edges := (u, first) :: !edges;
+        for i = 0 to k - 2 do
+          edges := (first + i, first + i + 1) :: !edges
+        done;
+        edges := (first + k - 1, v) :: !edges);
+    Graph.create ~n:!next ~edges:!edges
+  end
+
+let ring_of_cliques k s =
+  if k < 3 then invalid_arg "Gen.ring_of_cliques: need k >= 3";
+  if s < 2 then invalid_arg "Gen.ring_of_cliques: need s >= 2";
+  let n = k * s in
+  let edges = ref [] in
+  for c = 0 to k - 1 do
+    let base = c * s in
+    for u = 0 to s - 1 do
+      for v = u + 1 to s - 1 do
+        edges := (base + u, base + v) :: !edges
+      done
+    done;
+    (* bridge: last node of clique c to first node of clique c+1 *)
+    let next_base = (c + 1) mod k * s in
+    edges := (base + s - 1, next_base) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let barbell s len =
+  if s < 2 then invalid_arg "Gen.barbell: need s >= 2";
+  let n = (2 * s) + len in
+  let edges = ref [] in
+  let clique base =
+    for u = 0 to s - 1 do
+      for v = u + 1 to s - 1 do
+        edges := (base + u, base + v) :: !edges
+      done
+    done
+  in
+  clique 0;
+  clique (s + len);
+  (* path of interior nodes s .. s+len-1 *)
+  let prev = ref (s - 1) in
+  for i = 0 to len - 1 do
+    edges := (!prev, s + i) :: !edges;
+    prev := s + i
+  done;
+  edges := (!prev, s + len) :: !edges;
+  Graph.create ~n ~edges:!edges
+
+let caterpillar rng spine legs =
+  if spine < 1 then invalid_arg "Gen.caterpillar: need spine >= 1";
+  let n = spine + legs in
+  let edges = ref (List.init (spine - 1) (fun i -> (i, i + 1))) in
+  for l = 0 to legs - 1 do
+    edges := (spine + l, Rng.int rng spine) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let lollipop s len =
+  if s < 2 then invalid_arg "Gen.lollipop: need s >= 2";
+  let n = s + len in
+  let edges = ref [] in
+  for u = 0 to s - 1 do
+    for v = u + 1 to s - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let prev = ref (s - 1) in
+  for i = 0 to len - 1 do
+    edges := (!prev, s + i) :: !edges;
+    prev := s + i
+  done;
+  Graph.create ~n ~edges:!edges
+
+let barabasi_albert rng n k =
+  if k < 1 || k >= n then invalid_arg "Gen.barabasi_albert: need 1 <= k < n";
+  let edges = ref [] in
+  (* endpoint pool: each edge contributes both endpoints, so sampling the
+     pool uniformly is sampling nodes proportionally to degree *)
+  let capacity = (2 * ((k + 1) * k)) + (4 * n * k) in
+  let pool = Array.make (max 2 capacity) 0 in
+  let pool_size = ref 0 in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    pool.(!pool_size) <- u;
+    pool.(!pool_size + 1) <- v;
+    pool_size := !pool_size + 2
+  in
+  (* seed clique on k+1 nodes *)
+  for u = 0 to k do
+    for v = u + 1 to k do
+      add_edge u v
+    done
+  done;
+  for v = k + 1 to n - 1 do
+    (* sample k distinct targets by degree; retry on duplicates *)
+    let chosen = Hashtbl.create k in
+    let guard = ref 0 in
+    let snapshot = !pool_size in
+    while Hashtbl.length chosen < k && !guard < 10_000 do
+      incr guard;
+      let t = pool.(Rng.int rng snapshot) in
+      if t <> v && not (Hashtbl.mem chosen t) then Hashtbl.replace chosen t ()
+    done;
+    Hashtbl.iter (fun t () -> add_edge v t) chosen
+  done;
+  Graph.create ~n ~edges:!edges
+
+let planted_partition rng k s p_in p_out =
+  let n = k * s in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = if u / s = v / s then p_in else p_out in
+      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let disjoint_union a b =
+  let na = Graph.n a in
+  let edges =
+    Graph.fold_edges a ~init:[] ~f:(fun acc u v -> (u, v) :: acc)
+  in
+  let edges =
+    Graph.fold_edges b ~init:edges ~f:(fun acc u v -> (u + na, v + na) :: acc)
+  in
+  Graph.create ~n:(na + Graph.n b) ~edges
+
+let ensure_connected rng g =
+  let comps = Components.components g in
+  match comps with
+  | [] | [ _ ] -> g
+  | _ ->
+      let pick rng comp =
+        let a = Array.of_list comp in
+        a.(Rng.int rng (Array.length a))
+      in
+      let rec bridge acc = function
+        | c1 :: (c2 :: _ as rest) -> bridge ((pick rng c1, pick rng c2) :: acc) rest
+        | _ -> acc
+      in
+      let extra = bridge [] comps in
+      let edges =
+        Graph.fold_edges g ~init:extra ~f:(fun acc u v -> (u, v) :: acc)
+      in
+      Graph.create ~n:(Graph.n g) ~edges

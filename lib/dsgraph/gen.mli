@@ -1,0 +1,83 @@
+(** Graph generators: the workload families used by the test suite and by
+    the Table 1 / Table 2 benchmark sweeps, plus the building blocks of the
+    paper's Section 3 barrier construction (random regular expanders and
+    edge subdivision). Randomized generators take an explicit {!Rng.t}. *)
+
+val path : int -> Graph.t
+(** Path on [n] nodes (diameter [n-1]). *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val complete : int -> Graph.t
+
+val star : int -> Graph.t
+(** Node 0 connected to all others. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h]: 2-dimensional [w*h] grid. *)
+
+val torus : int -> int -> Graph.t
+(** [torus w h]: 2-dimensional wrap-around grid, [w, h >= 3]. *)
+
+val binary_tree : int -> Graph.t
+(** Complete-shaped binary tree on [n] nodes (heap numbering). *)
+
+val random_tree : Rng.t -> int -> Graph.t
+(** Uniform random attachment tree. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d]: [2^d] nodes. *)
+
+val erdos_renyi : Rng.t -> int -> float -> Graph.t
+(** [erdos_renyi rng n p]: each pair independently an edge w.p. [p]. *)
+
+val random_regular : Rng.t -> int -> int -> Graph.t
+(** [random_regular rng n d]: union of [d] random perfect matchings with
+    collision retries — degree exactly [d] for even [n·d]; a standard
+    constant-degree expander with overwhelming probability.
+    @raise Invalid_argument if [n·d] is odd or [d >= n]. *)
+
+val expander : Rng.t -> int -> Graph.t
+(** 4-regular random expander, the base graph [G_1] of the paper's
+    Section 3 barrier construction. Guaranteed connected (retries until
+    connected). *)
+
+val subdivide : Graph.t -> int -> Graph.t
+(** [subdivide g k] replaces every edge by a path with [k] interior nodes
+    (so edge length [k+1]); original nodes keep their identifiers
+    [0..n-1]. [subdivide g 0 = g]. This is how the paper builds the
+    barrier graph [G_2] from an expander [G_1]. *)
+
+val ring_of_cliques : int -> int -> Graph.t
+(** [ring_of_cliques k s]: [k >= 3] cliques of size [s >= 2] arranged in a
+    ring, consecutive cliques joined by one edge. *)
+
+val barbell : int -> int -> Graph.t
+(** [barbell s len]: two [s]-cliques joined by a path with [len] interior
+    nodes. *)
+
+val caterpillar : Rng.t -> int -> int -> Graph.t
+(** [caterpillar rng spine legs]: a path of length [spine] with [legs]
+    pendant nodes attached to random spine nodes. *)
+
+val lollipop : int -> int -> Graph.t
+(** [lollipop s len]: an [s]-clique with a tail path of [len] nodes. *)
+
+val barabasi_albert : Rng.t -> int -> int -> Graph.t
+(** [barabasi_albert rng n k]: preferential-attachment graph; each new
+    node attaches to [k] distinct existing nodes sampled proportionally
+    to degree (the first [k+1] nodes form a clique). Produces the
+    heavy-tailed degree distributions of real networks.
+    @raise Invalid_argument unless [1 <= k < n]. *)
+
+val planted_partition : Rng.t -> int -> int -> float -> float -> Graph.t
+(** [planted_partition rng k s p_in p_out]: [k] blocks of [s] nodes;
+    intra-block pairs joined w.p. [p_in], inter-block w.p. [p_out]. *)
+
+val disjoint_union : Graph.t -> Graph.t -> Graph.t
+(** Disjoint union; the second graph's nodes are shifted by [n] of the
+    first. *)
+
+val ensure_connected : Rng.t -> Graph.t -> Graph.t
+(** Adds one random edge between consecutive components until connected. *)

@@ -1,0 +1,120 @@
+type t = {
+  n : int;
+  adj : int array array;
+  m : int;
+  (* Per-node offsets into the dense edge numbering; edge (u,v) with u < v
+     gets index [offset.(u) + position of v among u's larger neighbors]. *)
+  edge_offset : int array;
+}
+
+let n t = t.n
+let m t = t.m
+let degree t v = Array.length t.adj.(v)
+let neighbors t v = t.adj.(v)
+let iter_neighbors t v f = Array.iter f t.adj.(v)
+let nodes t = List.init t.n (fun i -> i)
+
+let max_degree t =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
+
+let build_offsets n adj =
+  let offsets = Array.make n 0 in
+  let acc = ref 0 in
+  for u = 0 to n - 1 do
+    offsets.(u) <- !acc;
+    Array.iter (fun v -> if v > u then incr acc) adj.(u)
+  done;
+  (offsets, !acc)
+
+let of_adj raw =
+  let n = Array.length raw in
+  let sets = Array.make n [] in
+  Array.iteri
+    (fun u nbrs ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Graph.of_adj: endpoint out of range";
+          if v = u then invalid_arg "Graph.of_adj: self-loop";
+          sets.(u) <- v :: sets.(u);
+          sets.(v) <- u :: sets.(v))
+        nbrs)
+    raw;
+  let adj =
+    Array.map
+      (fun l ->
+        let a = Array.of_list (List.sort_uniq compare l) in
+        a)
+      sets
+  in
+  let edge_offset, m = build_offsets n adj in
+  { n; adj; m; edge_offset }
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  let sets = Array.make (max n 1) [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.create: endpoint out of range";
+      if u = v then invalid_arg "Graph.create: self-loop";
+      sets.(u) <- v :: sets.(u);
+      sets.(v) <- u :: sets.(v))
+    edges;
+  let adj =
+    Array.init n (fun u -> Array.of_list (List.sort_uniq compare sets.(u)))
+  in
+  let edge_offset, m = build_offsets n adj in
+  { n; adj; m; edge_offset }
+
+let is_edge t u v =
+  let a = t.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length a)
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) t.adj.(u)
+  done
+
+let fold_edges t ~init ~f =
+  let acc = ref init in
+  iter_edges t (fun u v -> acc := f !acc u v);
+  !acc
+
+let edges t = List.rev (fold_edges t ~init:[] ~f:(fun acc u v -> (u, v) :: acc))
+
+let edge_index t (u, v) =
+  let u, v = if u < v then (u, v) else (v, u) in
+  if not (is_edge t u v) then raise Not_found;
+  let a = t.adj.(u) in
+  (* count neighbors of u that are > u and < v *)
+  let pos = ref 0 in
+  let found = ref (-1) in
+  Array.iter
+    (fun w ->
+      if w > u then begin
+        if w = v then found := !pos;
+        if w < v then incr pos
+      end)
+    a;
+  ignore !found;
+  t.edge_offset.(u) + !pos
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d, m=%d, maxdeg=%d)" t.n t.m (max_degree t)
+
+let equal a b =
+  a.n = b.n
+  && a.m = b.m
+  && (let ok = ref true in
+      for u = 0 to a.n - 1 do
+        if a.adj.(u) <> b.adj.(u) then ok := false
+      done;
+      !ok)

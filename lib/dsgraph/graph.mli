@@ -1,0 +1,56 @@
+(** Immutable simple undirected graphs in compressed adjacency form.
+
+    Nodes are the integers [0 .. n-1]; this plays the role of the
+    {i O(log n)-bit unique identifiers} of the CONGEST model. Graphs are
+    simple (no self-loops, no parallel edges) and undirected: every edge
+    appears in both adjacency lists, and adjacency lists are sorted. *)
+
+type t
+
+val create : n:int -> edges:(int * int) list -> t
+(** [create ~n ~edges] builds a graph on nodes [0..n-1]. Self-loops are
+    rejected; duplicate edges (in either orientation) are merged.
+    @raise Invalid_argument on out-of-range endpoints or self-loops. *)
+
+val of_adj : int array array -> t
+(** [of_adj adj] builds a graph from adjacency lists. The lists are
+    symmetrized, sorted and deduplicated. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val neighbors : t -> int -> int array
+(** Sorted adjacency of a node. The returned array must not be mutated. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+val is_edge : t -> int -> int -> bool
+(** Binary search on the adjacency list; [O(log degree)]. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterates each undirected edge once, with [u < v]. *)
+
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+val edges : t -> (int * int) list
+(** All edges with [u < v], in lexicographic order. *)
+
+val edge_index : t -> (int * int) -> int
+(** [edge_index g (u, v)] is a dense index in [0 .. m-1] identifying the
+    undirected edge, usable for per-edge accounting (e.g. congestion).
+    @raise Not_found if [(u, v)] is not an edge. *)
+
+val nodes : t -> int list
+
+val pp : Format.formatter -> t -> unit
+(** Short human-readable summary ([n], [m], max degree). *)
+
+val equal : t -> t -> bool
+(** Structural equality (same node count and edge set). *)

@@ -1,0 +1,83 @@
+let to_edge_list g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# n %d\n" (Graph.n g));
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_edge_list text =
+  let n = ref (-1) in
+  let edges = ref [] in
+  let max_node = ref (-1) in
+  String.split_on_char '\n' text
+  |> List.iteri (fun lineno line ->
+         let line = String.trim line in
+         if line = "" then ()
+         else if String.length line >= 1 && line.[0] = '#' then begin
+           (* header: "# n <count>" *)
+           match String.split_on_char ' ' line with
+           | [ "#"; "n"; count ] -> (
+               match int_of_string_opt count with
+               | Some c -> n := c
+               | None ->
+                   invalid_arg
+                     (Printf.sprintf "Io.of_edge_list: bad header line %d"
+                        (lineno + 1)))
+           | _ -> ()
+         end
+         else
+           match
+             line |> String.split_on_char ' '
+             |> List.filter (fun s -> s <> "")
+             |> List.map int_of_string_opt
+           with
+           | [ Some u; Some v ] ->
+               edges := (u, v) :: !edges;
+               if u > !max_node then max_node := u;
+               if v > !max_node then max_node := v
+           | _ ->
+               invalid_arg
+                 (Printf.sprintf "Io.of_edge_list: malformed line %d: %S"
+                    (lineno + 1) line));
+  let n = if !n >= 0 then !n else !max_node + 1 in
+  Graph.create ~n ~edges:!edges
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_edge_list g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      really_input_string ic len |> of_edge_list)
+
+let palette =
+  [|
+    "#a6cee3"; "#1f78b4"; "#b2df8a"; "#33a02c"; "#fb9a99"; "#e31a1c";
+    "#fdbf6f"; "#ff7f00"; "#cab2d6"; "#6a3d9a"; "#ffff99"; "#b15928";
+  |]
+
+let to_dot ?cluster_of g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph g {\n  node [style=filled];\n";
+  List.iter
+    (fun v ->
+      let color =
+        match cluster_of with
+        | None -> "#ffffff"
+        | Some f ->
+            let c = f v in
+            if c < 0 then "#ffffff"
+            else palette.(c mod Array.length palette)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [fillcolor=\"%s\"];\n" v color))
+    (Graph.nodes g);
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Reading and writing graphs.
+
+    The text format is a plain edge list: an optional header line
+    [# n <count>] (needed to preserve isolated trailing nodes), then one
+    [u v] pair per line; [#]-lines and blank lines are ignored. *)
+
+val to_edge_list : Graph.t -> string
+
+val of_edge_list : string -> Graph.t
+(** @raise Invalid_argument on malformed lines or bad endpoints. *)
+
+val save : string -> Graph.t -> unit
+(** [save path g] writes the edge-list format to a file. *)
+
+val load : string -> Graph.t
+(** @raise Sys_error on IO failure, [Invalid_argument] on parse errors. *)
+
+val to_dot : ?cluster_of:(int -> int) -> Graph.t -> string
+(** Graphviz output. With [cluster_of], nodes are filled with one of 12
+    repeating colors by cluster id (negative = unclustered, white). *)

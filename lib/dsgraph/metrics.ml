@@ -1,0 +1,63 @@
+let cut_edges g set =
+  Graph.fold_edges g ~init:0 ~f:(fun acc u v ->
+      if Mask.mem set u <> Mask.mem set v then acc + 1 else acc)
+
+let volume g set =
+  let acc = ref 0 in
+  Mask.iter set (fun v -> acc := !acc + Graph.degree g v);
+  !acc
+
+let conductance_of_set g set =
+  let vol_s = volume g set in
+  let vol_rest = (2 * Graph.m g) - vol_s in
+  let denom = min vol_s vol_rest in
+  if denom = 0 then Float.nan
+  else float_of_int (cut_edges g set) /. float_of_int denom
+
+let node_boundary g set =
+  let n = Graph.n g in
+  let marked = Array.make n false in
+  Mask.iter set (fun u ->
+      Graph.iter_neighbors g u (fun v ->
+          if not (Mask.mem set v) then marked.(v) <- true));
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if marked.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let sweep_conductance g ~source =
+  let n = Graph.n g in
+  let dist = Bfs.distances g ~source in
+  let order =
+    List.sort
+      (fun a b -> compare dist.(a) dist.(b))
+      (List.filter (fun v -> dist.(v) >= 0) (Graph.nodes g))
+  in
+  let set = Mask.empty n in
+  let best = ref Float.infinity in
+  let order = Array.of_list order in
+  let k = Array.length order in
+  for i = 0 to k - 2 do
+    Mask.add set order.(i);
+    (* only evaluate at radius boundaries to keep this O(n·m) worst case in
+       check: evaluate whenever the next node is strictly farther *)
+    if dist.(order.(i + 1)) > dist.(order.(i)) then begin
+      let phi = conductance_of_set g set in
+      if not (Float.is_nan phi) && phi < !best then best := phi
+    end
+  done;
+  !best
+
+let average_degree g =
+  if Graph.n g = 0 then 0.0
+  else 2.0 *. float_of_int (Graph.m g) /. float_of_int (Graph.n g)
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let d = Graph.degree g v in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    (Graph.nodes g);
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])

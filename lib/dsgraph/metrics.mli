@@ -1,0 +1,25 @@
+(** Structural metrics used to sanity-check workloads and to verify the
+    Section 3 barrier properties (conductance, cut sizes, boundary sizes). *)
+
+val cut_edges : Graph.t -> Mask.t -> int
+(** Number of edges with exactly one endpoint in the set. *)
+
+val volume : Graph.t -> Mask.t -> int
+(** Sum of degrees of the set's nodes. *)
+
+val conductance_of_set : Graph.t -> Mask.t -> float
+(** [cut / min(vol S, vol V\S)]; [nan] when a side has zero volume. *)
+
+val node_boundary : Graph.t -> Mask.t -> int list
+(** Nodes outside the set adjacent to it. *)
+
+val sweep_conductance : Graph.t -> source:int -> float
+(** Cheap upper bound on graph conductance: the best conductance among the
+    BFS-ball sweep cuts from [source] (balls of every radius, both sides
+    nonempty). Used as a proxy to check expander-ness of generated base
+    graphs. *)
+
+val average_degree : Graph.t -> float
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, count)] pairs, increasing degree. *)

@@ -1,0 +1,6 @@
+(** Graph powers. [G^k] connects any two distinct nodes at distance
+    [<= k] in [G]; used by the ABCP96 transformation, which runs a
+    decomposition on [G^{2d}]. *)
+
+val power : Graph.t -> int -> Graph.t
+(** [power g k]. [k >= 1]. O(n·(n+m)) via one truncated BFS per node. *)

@@ -1,0 +1,42 @@
+(** Deterministic, seedable pseudo-random number generator (splitmix64).
+
+    All randomized algorithms and workload generators in this repository
+    draw their randomness from this module, so every experiment is
+    reproducible from an integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Useful for giving sub-experiments their own streams. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples from Exp(rate) (mean [1/rate]),
+    the distribution used by the MPX random-shift clustering. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success of
+    a Bernoulli([p]) trial sequence (support {0, 1, 2, ...}), as used by
+    the Linial–Saks radius sampling. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)

@@ -1,0 +1,24 @@
+let induce g nodes =
+  let n = Graph.n g in
+  let sorted = List.sort_uniq compare nodes in
+  if List.length sorted <> List.length nodes then
+    invalid_arg "Subgraph.induce: duplicate nodes";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Subgraph.induce: node out of range")
+    sorted;
+  let back = Array.of_list sorted in
+  let fwd = Hashtbl.create (Array.length back) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      Graph.iter_neighbors g v (fun w ->
+          if w > v then
+            match Hashtbl.find_opt fwd w with
+            | Some j -> edges := (i, j) :: !edges
+            | None -> ()))
+    back;
+  (Graph.create ~n:(Array.length back) ~edges:!edges, back)
+
+let induce_mask g mask = induce g (Mask.to_list mask)

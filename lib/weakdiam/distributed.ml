@@ -1,0 +1,336 @@
+open Dsgraph
+
+type result = {
+  carving : Cluster.Carving.t;
+  sim_stats : Congest.Sim.stats;
+  step_budget : int;
+  total_steps : int;
+  engine : Weak_carving.result;
+}
+
+type msg =
+  | Propose
+  | Count_up of int * int (* cluster label, aggregated proposal count *)
+  | Depart_up of int * int (* cluster label, departures (forwarded up) *)
+  | Decide of int * bool (* cluster label, grow? *)
+  | Accepted of int (* your proposal to this cluster was accepted *)
+  | Rejected (* your target stopped: die *)
+  | Attach of int (* sender becomes my tree child for this cluster *)
+  | Label_is of int
+  | Died
+  | Stopped of int
+
+type tree_entry = { parent : int; mutable children : int list }
+
+type nstate = {
+  id : int;
+  mutable label : int; (* >= 0 cluster label, -2 dead *)
+  trees : (int, tree_entry) Hashtbl.t;
+  nbr_label : (int, int) Hashtbl.t;
+  stopped : (int, unit) Hashtbl.t; (* per phase *)
+  (* root-side bookkeeping, meaningful when some cluster label = id *)
+  mutable size : int;
+  mutable joined : int;
+  (* per-step transient state *)
+  props : (int, int list ref) Hashtbl.t; (* cluster -> proposer neighbors *)
+  counts : (int, int * int) Hashtbl.t; (* cluster -> (#reports, sum) *)
+  sent_up : (int, unit) Hashtbl.t;
+  outq : (int, msg Queue.t) Hashtbl.t;
+  mutable round_in_step : int;
+  mutable steps_left_in_phase : int;
+  mutable phases_left : int list; (* step counts of the remaining phases *)
+  mutable bit : int; (* current phase's bit *)
+}
+
+let is_red bit lbl = (lbl lsr bit) land 1 = 1
+
+let carve ?(preset = Weak_carving.default_preset) ?domain g ~epsilon =
+  let n = Graph.n g in
+  let domain = match domain with Some d -> d | None -> Mask.full n in
+  let engine = Weak_carving.carve ~preset ~domain g ~epsilon in
+  let b = Congest.Bits.id_bits ~n in
+  let id_bits = b in
+  (* Step budget: proposals (2) + count convergecast (depth + queueing) +
+     decide broadcast (same) + accept/join/departure traffic (same). A
+     deployment would use the worst-case R and L bounds here. *)
+  let step_budget =
+    max 40 ((4 * (engine.Weak_carving.max_depth + engine.congestion + 6)) + 24)
+  in
+  let schedule = engine.Weak_carving.steps_per_phase in
+  let total_steps = List.fold_left ( + ) 0 schedule in
+  let threshold st =
+    let rg20 = epsilon /. (2.0 *. float_of_int b) *. float_of_int st.size in
+    let ggr21 = epsilon /. 2.0 *. float_of_int (max st.joined 1) in
+    match preset with
+    | Weak_carving.Rg20 -> rg20
+    | Weak_carving.Ggr21 -> ggr21
+    | Weak_carving.Hybrid -> Float.min rg20 ggr21
+  in
+  let enqueue st nbr m =
+    let q =
+      match Hashtbl.find_opt st.outq nbr with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace st.outq nbr q;
+          q
+    in
+    Queue.add m q
+  in
+  let neighbors = Graph.neighbors g in
+  let broadcast st m = Array.iter (fun nb -> enqueue st nb m) (neighbors st.id) in
+  (* mark a cluster stopped; members announce it to their neighborhood *)
+  let note_stopped st c =
+    if not (Hashtbl.mem st.stopped c) then begin
+      Hashtbl.replace st.stopped c ();
+      if st.label = c then broadcast st (Stopped c)
+    end
+  in
+  let depart st old =
+    if old >= 0 then
+      if old = st.id then st.size <- st.size - 1
+      else
+        match Hashtbl.find_opt st.trees old with
+        | Some e -> enqueue st e.parent (Depart_up (old, 1))
+        | None -> () (* unreachable: members always hold a tree entry *)
+  in
+  let handle_decide st c grow =
+    (match Hashtbl.find_opt st.trees c with
+    | Some e -> List.iter (fun child -> enqueue st child (Decide (c, grow))) e.children
+    | None -> ());
+    if not grow then note_stopped st c;
+    (match Hashtbl.find_opt st.props c with
+    | None -> ()
+    | Some proposers ->
+        List.iter
+          (fun p -> enqueue st p (if grow then Accepted c else Rejected))
+          !proposers;
+        Hashtbl.remove st.props c)
+  in
+  let join st c contact =
+    let old = st.label in
+    depart st old;
+    st.label <- c;
+    if not (Hashtbl.mem st.trees c) then begin
+      Hashtbl.replace st.trees c { parent = contact; children = [] };
+      enqueue st contact (Attach c)
+    end;
+    broadcast st (Label_is c)
+  in
+  let die st =
+    depart st st.label;
+    st.label <- -2;
+    broadcast st Died
+  in
+  let process st sender m =
+    match m with
+    | Label_is l -> Hashtbl.replace st.nbr_label sender l
+    | Died -> Hashtbl.replace st.nbr_label sender (-2)
+    | Stopped c -> note_stopped st c
+    | Propose ->
+        let c = st.label in
+        let cell =
+          match Hashtbl.find_opt st.props c with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.replace st.props c r;
+              r
+        in
+        cell := sender :: !cell
+    | Count_up (c, k) ->
+        let reports, sum =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt st.counts c)
+        in
+        Hashtbl.replace st.counts c (reports + 1, sum + k)
+    | Depart_up (c, k) ->
+        if c = st.id then st.size <- st.size - k
+        else (
+          match Hashtbl.find_opt st.trees c with
+          | Some e -> enqueue st e.parent (Depart_up (c, k))
+          | None -> ())
+    | Decide (c, grow) -> handle_decide st c grow
+    | Accepted c -> join st c sender
+    | Rejected -> die st
+    | Attach c -> (
+        match Hashtbl.find_opt st.trees c with
+        | Some e -> e.children <- sender :: e.children
+        | None -> ())
+  in
+  (* aggregation pass: once proposals have arrived (round >= 4), each tree
+     node reports each cluster once all of that cluster's children have *)
+  let aggregate st =
+    Hashtbl.iter
+      (fun c (e : tree_entry) ->
+        if not (Hashtbl.mem st.sent_up c) then begin
+          let reports, sum =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt st.counts c)
+          in
+          if reports = List.length e.children then begin
+            let own =
+              if st.label = c then
+                match Hashtbl.find_opt st.props c with
+                | Some r -> List.length !r
+                | None -> 0
+              else 0
+            in
+            let total = own + sum in
+            Hashtbl.replace st.sent_up c ();
+            if c = st.id then begin
+              (* root: decide *)
+              if total > 0 then begin
+                let grow = float_of_int total >= threshold st in
+                if grow then begin
+                  st.size <- st.size + total;
+                  st.joined <- st.joined + total
+                end;
+                handle_decide st c grow
+              end
+            end
+            else enqueue st e.parent (Count_up (c, total))
+          end
+        end)
+      st.trees
+  in
+  let start_step st =
+    st.round_in_step <- 1;
+    Hashtbl.reset st.props;
+    Hashtbl.reset st.counts;
+    Hashtbl.reset st.sent_up;
+    (* red nodes adjacent to a live blue cluster propose *)
+    if st.label >= 0 && is_red st.bit st.label then begin
+      let best = ref None in
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt st.nbr_label w with
+          | Some lw
+            when lw >= 0
+                 && (not (is_red st.bit lw))
+                 && not (Hashtbl.mem st.stopped lw) -> (
+              match !best with
+              | None -> best := Some (lw, w)
+              | Some (bl, bw) ->
+                  if lw < bl || (lw = bl && w < bw) then best := Some (lw, w))
+          | _ -> ())
+        (neighbors st.id);
+      match !best with None -> () | Some (_, w) -> enqueue st w Propose
+    end
+  in
+  let rec start_phase st steps rest =
+    if steps = 0 then (
+      (* the engine needed no steps for this bit: skip it immediately *)
+      match rest with
+      | [] ->
+          st.steps_left_in_phase <- 0;
+          st.phases_left <- [];
+          st.round_in_step <- 0
+      | s :: r ->
+          st.bit <- st.bit + 1;
+          start_phase st s r)
+    else begin
+      st.steps_left_in_phase <- steps;
+      st.phases_left <- rest;
+      Hashtbl.reset st.stopped;
+      st.joined <- 0;
+      start_step st
+    end
+  in
+  let program =
+    {
+      Congest.Sim.init =
+        (fun ~node ~neighbors:nbrs ->
+          let st =
+            {
+              id = node;
+              label = (if Mask.mem domain node then node else -1);
+              trees = Hashtbl.create 4;
+              nbr_label = Hashtbl.create (Array.length nbrs);
+              stopped = Hashtbl.create 4;
+              size = 1;
+              joined = 0;
+              props = Hashtbl.create 4;
+              counts = Hashtbl.create 4;
+              sent_up = Hashtbl.create 4;
+              outq = Hashtbl.create (Array.length nbrs);
+              round_in_step = 0;
+              steps_left_in_phase = 0;
+              phases_left = [];
+              bit = 0;
+            }
+          in
+          if Mask.mem domain node then
+            Hashtbl.replace st.trees node { parent = node; children = [] };
+          Array.iter
+            (fun w ->
+              Hashtbl.replace st.nbr_label w (if Mask.mem domain w then w else -2))
+            nbrs;
+          (* the whole schedule is known up front (derived from n in a real
+             deployment); bit i is phase i. Nodes outside the domain sleep. *)
+          (if Mask.mem domain node then
+             match schedule with
+             | [] -> st.phases_left <- []
+             | steps :: rest ->
+                 st.bit <- 0;
+                 start_phase st steps rest);
+          st);
+      round =
+        (fun ~node ~state:st ~inbox ->
+          ignore node;
+          (* schedule bookkeeping: advance step/phase on budget expiry *)
+          let active = st.steps_left_in_phase > 0 || st.phases_left <> [] in
+          if active then begin
+            if st.round_in_step >= step_budget then begin
+              st.steps_left_in_phase <- st.steps_left_in_phase - 1;
+              if st.steps_left_in_phase > 0 then start_step st
+              else
+                match st.phases_left with
+                | [] -> st.round_in_step <- 0 (* schedule finished *)
+                | steps :: rest ->
+                    st.bit <- st.bit + 1;
+                    start_phase st steps rest
+            end
+            else st.round_in_step <- st.round_in_step + 1
+          end;
+          List.iter (fun (s, m) -> process st s m) inbox;
+          if st.round_in_step >= 4 && st.steps_left_in_phase > 0 then
+            aggregate st;
+          (* drain one message per edge *)
+          let out = ref [] in
+          Hashtbl.iter
+            (fun nbr q ->
+              if not (Queue.is_empty q) then out := (nbr, Queue.pop q) :: !out)
+            st.outq;
+          let done_ =
+            st.steps_left_in_phase = 0 && st.phases_left = []
+            && !out = []
+          in
+          (st, !out, done_));
+    }
+  in
+  let bits = function
+    | Propose | Rejected | Died -> 4
+    | Accepted _ | Attach _ | Label_is _ | Stopped _ -> 4 + id_bits
+    | Count_up _ | Depart_up _ -> 4 + (2 * id_bits)
+    | Decide _ -> 5 + id_bits
+  in
+  let max_rounds = ((total_steps + 2) * step_budget) + (4 * step_budget) in
+  let bandwidth = max (Congest.Bits.bandwidth ~n) (4 + (2 * id_bits)) in
+  let states, sim_stats = Congest.Sim.run ~max_rounds ~bandwidth ~bits g program in
+  let cluster_of = Array.map (fun st -> st.label) states in
+  let clustering = Cluster.Clustering.make g ~cluster_of in
+  let carving = Cluster.Carving.make clustering ~domain in
+  { carving; sim_stats; step_budget; total_steps; engine }
+
+let matches_engine r =
+  let sim = r.carving.Cluster.Carving.clustering in
+  let eng = r.engine.Weak_carving.carving.Cluster.Carving.clustering in
+  let g = Cluster.Clustering.graph sim in
+  let n = Graph.n g in
+  let ok = ref (Cluster.Clustering.num_clusters sim = Cluster.Clustering.num_clusters eng) in
+  (* same dead set and same partition (cluster ids may be permuted; both
+     normalize by first appearance, so equality is direct) *)
+  for v = 0 to n - 1 do
+    if Cluster.Clustering.cluster_of sim v <> Cluster.Clustering.cluster_of eng v
+    then ok := false
+  done;
+  !ok

@@ -1,0 +1,201 @@
+open Dsgraph
+
+type kind = Weak | Strong
+type model = Deterministic | Randomized
+
+type decomposer = {
+  name : string;
+  reference : string;
+  kind : kind;
+  model : model;
+  run :
+    cost:Congest.Cost.t -> seed:int -> Dsgraph.Graph.t -> Cluster.Decomposition.t;
+}
+
+type carver = {
+  c_name : string;
+  c_reference : string;
+  c_kind : kind;
+  c_model : model;
+  c_run :
+    cost:Congest.Cost.t ->
+    seed:int ->
+    Dsgraph.Graph.t ->
+    epsilon:float ->
+    Cluster.Carving.t;
+}
+
+let decomposers =
+  [
+    {
+      name = "ls93";
+      reference = "[LS93] weak randomized";
+      kind = Weak;
+      model = Randomized;
+      run =
+        (fun ~cost ~seed g ->
+          Baseline.Linial_saks.decompose ~cost (Rng.create seed) g);
+    };
+    {
+      name = "rg20";
+      reference = "[RG20] weak deterministic";
+      kind = Weak;
+      model = Deterministic;
+      run =
+        (fun ~cost ~seed:_ g ->
+          Strongdecomp.Netdecomp.weak ~cost ~preset:Weakdiam.Weak_carving.Rg20 g);
+    };
+    {
+      name = "ggr21";
+      reference = "[GGR21] weak deterministic";
+      kind = Weak;
+      model = Deterministic;
+      run =
+        (fun ~cost ~seed:_ g ->
+          Strongdecomp.Netdecomp.weak ~cost ~preset:Weakdiam.Weak_carving.Ggr21
+            g);
+    };
+    {
+      name = "mpx";
+      reference = "[MPX13,EN16] strong randomized";
+      kind = Strong;
+      model = Randomized;
+      run = (fun ~cost ~seed g -> Baseline.Mpx.decompose ~cost (Rng.create seed) g);
+    };
+    {
+      name = "aglp89";
+      reference = "[AGLP89] strong deterministic (quality profile)";
+      kind = Strong;
+      model = Deterministic;
+      run =
+        (fun ~cost ~seed:_ g ->
+          Baseline.Greedy.decompose ~cost ~preset:Baseline.Greedy.Aglp g);
+    };
+    {
+      name = "gha19";
+      reference = "[Gha19,PS92] strong deterministic (quality profile)";
+      kind = Strong;
+      model = Deterministic;
+      run =
+        (fun ~cost ~seed:_ g ->
+          Baseline.Greedy.decompose ~cost ~preset:Baseline.Greedy.Gha19 g);
+    };
+    {
+      name = "greedy";
+      reference = "[LS93] existential optimum (sequential)";
+      kind = Strong;
+      model = Deterministic;
+      run =
+        (fun ~cost ~seed:_ g ->
+          Baseline.Greedy.decompose ~cost ~preset:Baseline.Greedy.Ls93_existential
+            g);
+    };
+    {
+      name = "abcp96";
+      reference = "[ABCP96] strong deterministic, unbounded messages";
+      kind = Strong;
+      model = Deterministic;
+      run = (fun ~cost ~seed:_ g -> fst (Baseline.Abcp.decompose ~cost g));
+    };
+    {
+      name = "thm2.1+ls";
+      reference = "THIS PAPER Thm 2.1 over randomized [LS93] (new combination)";
+      kind = Strong;
+      model = Randomized;
+      run =
+        (fun ~cost ~seed g ->
+          Baseline.Ls_transform.decompose ~cost (Rng.create seed) g);
+    };
+    {
+      name = "thm2.3";
+      reference = "THIS PAPER Thm 2.3: strong det, O(log n) colors";
+      kind = Strong;
+      model = Deterministic;
+      run = (fun ~cost ~seed:_ g -> Strongdecomp.Netdecomp.strong ~cost g);
+    };
+    {
+      name = "thm3.4";
+      reference = "THIS PAPER Thm 3.4: strong det, improved diameter";
+      kind = Strong;
+      model = Deterministic;
+      run = (fun ~cost ~seed:_ g -> Strongdecomp.Netdecomp.strong_improved ~cost g);
+    };
+  ]
+
+let carvers =
+  [
+    {
+      c_name = "ls93";
+      c_reference = "[LS93] weak randomized";
+      c_kind = Weak;
+      c_model = Randomized;
+      c_run =
+        (fun ~cost ~seed g ~epsilon ->
+          Baseline.Linial_saks.carve ~cost (Rng.create seed) g ~epsilon);
+    };
+    {
+      c_name = "rg20";
+      c_reference = "[RG20] weak deterministic";
+      c_kind = Weak;
+      c_model = Deterministic;
+      c_run =
+        (fun ~cost ~seed:_ g ~epsilon ->
+          let r =
+            Weakdiam.Weak_carving.carve ~preset:Weakdiam.Weak_carving.Rg20 ~cost
+              g ~epsilon
+          in
+          r.carving);
+    };
+    {
+      c_name = "ggr21";
+      c_reference = "[GGR21] weak deterministic";
+      c_kind = Weak;
+      c_model = Deterministic;
+      c_run =
+        (fun ~cost ~seed:_ g ~epsilon ->
+          let r =
+            Weakdiam.Weak_carving.carve ~preset:Weakdiam.Weak_carving.Ggr21
+              ~cost g ~epsilon
+          in
+          r.carving);
+    };
+    {
+      c_name = "mpx";
+      c_reference = "[MPX13,EN16] strong randomized";
+      c_kind = Strong;
+      c_model = Randomized;
+      c_run =
+        (fun ~cost ~seed g ~epsilon ->
+          Baseline.Mpx.carve ~cost (Rng.create seed) g ~epsilon);
+    };
+    {
+      c_name = "thm2.1+ls";
+      c_reference = "THIS PAPER Thm 2.1 over randomized [LS93]";
+      c_kind = Strong;
+      c_model = Randomized;
+      c_run =
+        (fun ~cost ~seed g ~epsilon ->
+          fst (Baseline.Ls_transform.carve ~cost (Rng.create seed) g ~epsilon));
+    };
+    {
+      c_name = "thm2.2";
+      c_reference = "THIS PAPER Thm 2.2: strong deterministic";
+      c_kind = Strong;
+      c_model = Deterministic;
+      c_run =
+        (fun ~cost ~seed:_ g ~epsilon ->
+          fst (Strongdecomp.Strong_carving.carve ~cost g ~epsilon));
+    };
+    {
+      c_name = "thm3.3";
+      c_reference = "THIS PAPER Thm 3.3: strong det, improved diameter";
+      c_kind = Strong;
+      c_model = Deterministic;
+      c_run =
+        (fun ~cost ~seed:_ g ~epsilon ->
+          fst (Strongdecomp.Strong_carving.carve_improved ~cost g ~epsilon));
+    };
+  ]
+
+let find_decomposer name = List.find (fun d -> d.name = name) decomposers
+let find_carver name = List.find (fun c -> c.c_name = name) carvers

@@ -1,0 +1,40 @@
+(** Registry of every decomposition / carving algorithm in the repository,
+    under one uniform signature, keyed by the Table 1 / Table 2 rows they
+    reproduce. *)
+
+type kind = Weak | Strong
+type model = Deterministic | Randomized
+
+type decomposer = {
+  name : string;  (** row key, e.g. "thm2.3" *)
+  reference : string;  (** the paper row it reproduces, e.g. "[RG20]" *)
+  kind : kind;
+  model : model;
+  run :
+    cost:Congest.Cost.t -> seed:int -> Dsgraph.Graph.t -> Cluster.Decomposition.t;
+}
+
+type carver = {
+  c_name : string;
+  c_reference : string;
+  c_kind : kind;
+  c_model : model;
+  c_run :
+    cost:Congest.Cost.t ->
+    seed:int ->
+    Dsgraph.Graph.t ->
+    epsilon:float ->
+    Cluster.Carving.t;
+}
+
+val decomposers : decomposer list
+(** All Table 1 rows: LS93, RG20, GGR21 (weak); MPX/EN16, AGLP89, Gha19,
+    greedy-LS93, ABCP96, Theorem 2.1 over LS93, Theorem 2.3, Theorem 3.4
+    (strong). *)
+
+val carvers : carver list
+(** All Table 2 rows: LS93, RG20, GGR21 (weak); MPX/EN16, Theorem 2.1
+    over LS93, Theorem 2.2, Theorem 3.3 (strong). *)
+
+val find_decomposer : string -> decomposer
+val find_carver : string -> carver

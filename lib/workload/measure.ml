@@ -1,0 +1,174 @@
+open Dsgraph
+
+type decomp_row = {
+  algorithm : string;
+  reference : string;
+  kind : Algorithms.kind;
+  model : Algorithms.model;
+  family : string;
+  n : int;
+  m : int;
+  colors : int;
+  strong_diameter : int;
+  weak_diameter : int;
+  rounds : int;
+  messages : int;
+  max_message_bits : int;
+  valid : bool;
+  seconds : float;
+}
+
+type carve_row = {
+  c_algorithm : string;
+  c_reference : string;
+  c_kind : Algorithms.kind;
+  c_family : string;
+  c_n : int;
+  c_epsilon : float;
+  c_strong_diameter : int;
+  c_weak_diameter : int;
+  c_dead_fraction : float;
+  c_rounds : int;
+  c_max_message_bits : int;
+  c_valid : bool;
+  c_seconds : float;
+}
+
+let decomposition_row ?(seed = 42) (d : Algorithms.decomposer) family ~n =
+  let g = family.Suite.build ~seed ~n in
+  let cost = Congest.Cost.create () in
+  let t0 = Unix.gettimeofday () in
+  let decomp = d.run ~cost ~seed g in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let clustering = Cluster.Decomposition.clustering decomp in
+  let colors = Cluster.Decomposition.num_colors decomp in
+  let strong_diameter = Cluster.Clustering.max_strong_diameter_estimate clustering in
+  let weak_diameter = Cluster.Clustering.max_weak_diameter_estimate clustering in
+  let valid =
+    match Cluster.Decomposition.check decomp with
+    | Ok () -> (
+        match d.kind with
+        | Algorithms.Weak -> weak_diameter >= 0
+        | Algorithms.Strong -> strong_diameter >= 0)
+    | Error _ -> false
+  in
+  {
+    algorithm = d.name;
+    reference = d.reference;
+    kind = d.kind;
+    model = d.model;
+    family = family.Suite.name;
+    n = Graph.n g;
+    m = Graph.m g;
+    colors;
+    strong_diameter;
+    weak_diameter;
+    rounds = Congest.Cost.rounds cost;
+    messages = Congest.Cost.messages cost;
+    max_message_bits = Congest.Cost.max_message_bits cost;
+    valid;
+    seconds;
+  }
+
+let carving_row ?(seed = 42) (c : Algorithms.carver) family ~n ~epsilon =
+  let g = family.Suite.build ~seed ~n in
+  let cost = Congest.Cost.create () in
+  let t0 = Unix.gettimeofday () in
+  let carving = c.c_run ~cost ~seed g ~epsilon in
+  let c_seconds = Unix.gettimeofday () -. t0 in
+  let clustering = carving.Cluster.Carving.clustering in
+  let c_strong_diameter =
+    Cluster.Clustering.max_strong_diameter_estimate clustering
+  in
+  let c_weak_diameter = Cluster.Clustering.max_weak_diameter_estimate clustering in
+  let c_valid =
+    match c.c_kind with
+    | Algorithms.Weak -> (
+        match Cluster.Carving.check_weak ~epsilon carving with
+        | Ok () -> c_weak_diameter >= 0
+        | Error _ -> false)
+    | Algorithms.Strong -> (
+        match Cluster.Carving.check_strong ~epsilon carving with
+        | Ok () -> true
+        | Error _ -> false)
+  in
+  {
+    c_algorithm = c.c_name;
+    c_reference = c.c_reference;
+    c_kind = c.c_kind;
+    c_family = family.Suite.name;
+    c_n = Graph.n g;
+    c_epsilon = epsilon;
+    c_strong_diameter;
+    c_weak_diameter;
+    c_dead_fraction = Cluster.Carving.dead_fraction carving;
+    c_rounds = Congest.Cost.rounds cost;
+    c_max_message_bits = Congest.Cost.max_message_bits cost;
+    c_valid;
+    c_seconds;
+  }
+
+let kind_label = function Algorithms.Weak -> "weak" | Algorithms.Strong -> "strong"
+
+let model_label = function
+  | Algorithms.Deterministic -> "det"
+  | Algorithms.Randomized -> "rand"
+
+let pp_decomp_table fmt rows =
+  Format.fprintf fmt
+    "%-10s %-6s %-5s %-9s %6s %7s %7s %6s %6s %10s %8s %6s %8s@."
+    "algo" "kind" "model" "family" "n" "m" "colors" "sDiam" "wDiam" "rounds"
+    "maxbits" "valid" "secs";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "%-10s %-6s %-5s %-9s %6d %7d %7d %6d %6d %10d %8d %6s %8.2f@."
+        r.algorithm (kind_label r.kind) (model_label r.model) r.family r.n r.m
+        r.colors r.strong_diameter r.weak_diameter r.rounds r.max_message_bits
+        (if r.valid then "ok" else "FAIL")
+        r.seconds)
+    rows
+
+let pp_carve_table fmt rows =
+  Format.fprintf fmt "%-10s %-6s %-9s %6s %6s %6s %6s %6s %10s %8s %6s %8s@."
+    "algo" "kind" "family" "n" "eps" "sDiam" "wDiam" "dead%" "rounds" "maxbits"
+    "valid" "secs";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "%-10s %-6s %-9s %6d %6.3f %6d %6d %6.1f %10d %8d %6s %8.2f@."
+        r.c_algorithm (kind_label r.c_kind) r.c_family r.c_n r.c_epsilon
+        r.c_strong_diameter r.c_weak_diameter
+        (100.0 *. r.c_dead_fraction)
+        r.c_rounds r.c_max_message_bits
+        (if r.c_valid then "ok" else "FAIL")
+        r.c_seconds)
+    rows
+
+let decomp_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "algorithm,kind,model,family,n,m,colors,strong_diameter,weak_diameter,rounds,messages,max_message_bits,valid,seconds\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%b,%.4f\n"
+           r.algorithm (kind_label r.kind) (model_label r.model) r.family r.n
+           r.m r.colors r.strong_diameter r.weak_diameter r.rounds r.messages
+           r.max_message_bits r.valid r.seconds))
+    rows;
+  Buffer.contents buf
+
+let carve_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "algorithm,kind,family,n,epsilon,strong_diameter,weak_diameter,dead_fraction,rounds,max_message_bits,valid,seconds\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%.4f,%d,%d,%.4f,%d,%d,%b,%.4f\n"
+           r.c_algorithm (kind_label r.c_kind) r.c_family r.c_n r.c_epsilon
+           r.c_strong_diameter r.c_weak_diameter r.c_dead_fraction r.c_rounds
+           r.c_max_message_bits r.c_valid r.c_seconds))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** Measurement harness: run a registered algorithm on a workload graph
+    and record the quantities the paper's tables report — colors,
+    diameters, rounds, message sizes — together with validity verdicts
+    from the {!Cluster} checkers. *)
+
+type decomp_row = {
+  algorithm : string;
+  reference : string;
+  kind : Algorithms.kind;
+  model : Algorithms.model;
+  family : string;
+  n : int;
+  m : int;
+  colors : int;
+  strong_diameter : int;  (** [-1] when some cluster induces a
+                              disconnected subgraph (weak algorithms) *)
+  weak_diameter : int;
+  rounds : int;
+  messages : int;
+  max_message_bits : int;
+  valid : bool;
+  seconds : float;
+}
+
+type carve_row = {
+  c_algorithm : string;
+  c_reference : string;
+  c_kind : Algorithms.kind;
+  c_family : string;
+  c_n : int;
+  c_epsilon : float;
+  c_strong_diameter : int;
+  c_weak_diameter : int;
+  c_dead_fraction : float;
+  c_rounds : int;
+  c_max_message_bits : int;
+  c_valid : bool;
+  c_seconds : float;
+}
+
+val decomposition_row :
+  ?seed:int -> Algorithms.decomposer -> Suite.family -> n:int -> decomp_row
+
+val carving_row :
+  ?seed:int ->
+  Algorithms.carver ->
+  Suite.family ->
+  n:int ->
+  epsilon:float ->
+  carve_row
+
+val pp_decomp_table : Format.formatter -> decomp_row list -> unit
+val pp_carve_table : Format.formatter -> carve_row list -> unit
+
+val decomp_csv : decomp_row list -> string
+val carve_csv : carve_row list -> string

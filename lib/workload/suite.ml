@@ -1,0 +1,110 @@
+open Dsgraph
+
+type family = { name : string; build : seed:int -> n:int -> Graph.t }
+
+let isqrt n =
+  let rec go k = if (k + 1) * (k + 1) > n then k else go (k + 1) in
+  go 1
+
+let path =
+  { name = "path"; build = (fun ~seed:_ ~n -> Gen.path (max 2 n)) }
+
+let cycle =
+  { name = "cycle"; build = (fun ~seed:_ ~n -> Gen.cycle (max 3 n)) }
+
+let grid =
+  {
+    name = "grid";
+    build =
+      (fun ~seed:_ ~n ->
+        let s = max 2 (isqrt n) in
+        Gen.grid s s);
+  }
+
+let torus =
+  {
+    name = "torus";
+    build =
+      (fun ~seed:_ ~n ->
+        let s = max 3 (isqrt n) in
+        Gen.torus s s);
+  }
+
+let erdos_renyi =
+  {
+    name = "er";
+    build =
+      (fun ~seed ~n ->
+        let rng = Rng.create (seed + 77) in
+        Gen.ensure_connected rng
+          (Gen.erdos_renyi rng n (3.0 /. float_of_int (max n 2))));
+  }
+
+let random_regular =
+  {
+    name = "reg4";
+    build =
+      (fun ~seed ~n ->
+        let n = if n mod 2 = 0 then n else n + 1 in
+        Gen.expander (Rng.create (seed + 13)) n);
+  }
+
+let subdivided_expander =
+  {
+    name = "subdiv";
+    build =
+      (fun ~seed ~n ->
+        Strongdecomp.Barrier.build (Rng.create (seed + 5)) ~target_n:(max 32 n));
+  }
+
+let tree =
+  {
+    name = "tree";
+    build = (fun ~seed ~n -> Gen.random_tree (Rng.create (seed + 3)) (max 2 n));
+  }
+
+let hypercube =
+  {
+    name = "hypercube";
+    build =
+      (fun ~seed:_ ~n ->
+        let rec dim d = if 1 lsl (d + 1) > n then d else dim (d + 1) in
+        Gen.hypercube (max 1 (dim 1)));
+  }
+
+let scale_free =
+  {
+    name = "ba";
+    build =
+      (fun ~seed ~n ->
+        Gen.barabasi_albert (Rng.create (seed + 23)) (max 5 n) 3);
+  }
+
+let ring_of_cliques =
+  {
+    name = "cliques";
+    build =
+      (fun ~seed:_ ~n ->
+        let s = max 4 (isqrt n) in
+        let k = max 3 (n / s) in
+        Gen.ring_of_cliques k s);
+  }
+
+let all =
+  [
+    path;
+    cycle;
+    grid;
+    torus;
+    erdos_renyi;
+    random_regular;
+    subdivided_expander;
+    tree;
+    hypercube;
+    scale_free;
+    ring_of_cliques;
+  ]
+
+let core = [ path; grid; erdos_renyi; random_regular ]
+
+let find name = List.find (fun f -> f.name = name) all

@@ -1,0 +1,48 @@
+(** The graph-family workload suite [W] used by every experiment (see
+    DESIGN.md §4). Each family builds a connected graph of approximately
+    the requested size from a seed, so sweeps are reproducible. *)
+
+type family = { name : string; build : seed:int -> n:int -> Dsgraph.Graph.t }
+
+val path : family
+(** Extreme-diameter family: the one where cluster diameters of the
+    polylog algorithms are far below the graph diameter, so the measured
+    [(C, D)] trade-offs are non-degenerate at laptop scale. *)
+
+val cycle : family
+
+val grid : family
+(** 2-d square grid: the high-diameter, well-cuttable extreme. *)
+
+val torus : family
+
+val erdos_renyi : family
+(** [G(n, 3/n)]: sparse near-supercritical random graph (made connected). *)
+
+val random_regular : family
+(** random 4-regular: a constant-degree expander. *)
+
+val subdivided_expander : family
+(** The Section 3 barrier family. *)
+
+val tree : family
+(** random attachment tree. *)
+
+val hypercube : family
+(** rounded down to the nearest power of two. *)
+
+val scale_free : family
+(** Barabási–Albert preferential attachment (heavy-tailed degrees). *)
+
+val ring_of_cliques : family
+(** dense cliques, sparse ring: locality-friendly structure. *)
+
+val all : family list
+
+val core : family list
+(** The families the table sweeps run on (path, grid, Erdős–Rényi,
+    random-regular expander): one extreme-diameter family, one
+    shallow-cut family, one sparse random family, one expander. *)
+
+val find : string -> family
+(** @raise Not_found for unknown family names. *)

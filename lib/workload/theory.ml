@@ -1,0 +1,100 @@
+type row = {
+  t_name : string;
+  diameter : n:int -> epsilon:float -> float;
+  rounds : n:int -> epsilon:float -> float;
+}
+
+let lg ~n = Float.max 1.0 (log (float_of_int n) /. log 2.0)
+
+let pow_log ~n k ~epsilon j =
+  (lg ~n ** float_of_int k) /. (epsilon ** float_of_int j)
+
+let carving_rows =
+  [
+    {
+      t_name = "ls93";
+      diameter = (fun ~n ~epsilon -> pow_log ~n 1 ~epsilon 1);
+      rounds = (fun ~n ~epsilon -> pow_log ~n 1 ~epsilon 1);
+    };
+    {
+      t_name = "rg20";
+      diameter = (fun ~n ~epsilon -> pow_log ~n 3 ~epsilon 1);
+      rounds = (fun ~n ~epsilon -> pow_log ~n 6 ~epsilon 2);
+    };
+    {
+      t_name = "ggr21";
+      diameter = (fun ~n ~epsilon -> pow_log ~n 2 ~epsilon 1);
+      rounds = (fun ~n ~epsilon -> pow_log ~n 4 ~epsilon 2);
+    };
+    {
+      t_name = "mpx";
+      diameter = (fun ~n ~epsilon -> pow_log ~n 1 ~epsilon 1);
+      rounds = (fun ~n ~epsilon -> pow_log ~n 1 ~epsilon 1);
+    };
+    {
+      t_name = "thm2.1+ls";
+      diameter = (fun ~n ~epsilon -> pow_log ~n 2 ~epsilon 1);
+      rounds = (fun ~n ~epsilon -> pow_log ~n 3 ~epsilon 1);
+    };
+    {
+      t_name = "thm2.2";
+      diameter = (fun ~n ~epsilon -> pow_log ~n 3 ~epsilon 1);
+      rounds = (fun ~n ~epsilon -> pow_log ~n 7 ~epsilon 2);
+    };
+    {
+      t_name = "thm3.3";
+      diameter = (fun ~n ~epsilon -> pow_log ~n 2 ~epsilon 1);
+      rounds = (fun ~n ~epsilon -> pow_log ~n 10 ~epsilon 2);
+    };
+  ]
+
+(* Table 1 rows: the decomposition repeats the carving O(log n) times with
+   eps = 1/2, multiplying rounds by one more log factor. *)
+let decomposition_rows =
+  [
+    {
+      t_name = "ls93";
+      diameter = (fun ~n ~epsilon:_ -> lg ~n);
+      rounds = (fun ~n ~epsilon:_ -> pow_log ~n 2 ~epsilon:1.0 0);
+    };
+    {
+      t_name = "rg20";
+      diameter = (fun ~n ~epsilon:_ -> pow_log ~n 3 ~epsilon:1.0 0);
+      rounds = (fun ~n ~epsilon:_ -> pow_log ~n 7 ~epsilon:1.0 0);
+    };
+    {
+      t_name = "ggr21";
+      diameter = (fun ~n ~epsilon:_ -> pow_log ~n 2 ~epsilon:1.0 0);
+      rounds = (fun ~n ~epsilon:_ -> pow_log ~n 5 ~epsilon:1.0 0);
+    };
+    {
+      t_name = "mpx";
+      diameter = (fun ~n ~epsilon:_ -> lg ~n);
+      rounds = (fun ~n ~epsilon:_ -> pow_log ~n 2 ~epsilon:1.0 0);
+    };
+    {
+      t_name = "thm2.1+ls";
+      diameter = (fun ~n ~epsilon:_ -> pow_log ~n 2 ~epsilon:1.0 0);
+      rounds = (fun ~n ~epsilon:_ -> pow_log ~n 4 ~epsilon:1.0 0);
+    };
+    {
+      t_name = "thm2.3";
+      diameter = (fun ~n ~epsilon:_ -> pow_log ~n 3 ~epsilon:1.0 0);
+      rounds = (fun ~n ~epsilon:_ -> pow_log ~n 8 ~epsilon:1.0 0);
+    };
+    {
+      t_name = "thm3.4";
+      diameter = (fun ~n ~epsilon:_ -> pow_log ~n 2 ~epsilon:1.0 0);
+      rounds = (fun ~n ~epsilon:_ -> pow_log ~n 11 ~epsilon:1.0 0);
+    };
+  ]
+
+let find rows name = List.find (fun r -> r.t_name = name) rows
+
+let ratio row which ~n ~epsilon ~measured =
+  let formula =
+    match which with
+    | `Diameter -> row.diameter ~n ~epsilon
+    | `Rounds -> row.rounds ~n ~epsilon
+  in
+  float_of_int measured /. Float.max formula 1e-9

@@ -1,0 +1,27 @@
+(** The paper's asymptotic formulas (Tables 1 and 2) as evaluable
+    functions, used by the benchmark to report measured/formula ratios: if
+    an implementation has the claimed growth order, its ratio stays
+    roughly constant across the [n] sweep (up to the low-order terms the
+    O(·) hides). *)
+
+type row = {
+  t_name : string;  (** matches the registry names in {!Algorithms} *)
+  diameter : n:int -> epsilon:float -> float;  (** claimed D growth *)
+  rounds : n:int -> epsilon:float -> float;  (** claimed rounds growth *)
+}
+
+val carving_rows : row list
+(** Table 2 claims: ls93 [(log n/ε, log n/ε)], rg20
+    [(log³n/ε, log⁶n/ε²)], ggr21 [(log²n/ε, log⁴n/ε²)], mpx
+    [(log n/ε, log n/ε)], thm2.2 [(log³n/ε, log⁷n/ε²)], thm3.3
+    [(log²n/ε, log¹⁰n/ε²)]. *)
+
+val decomposition_rows : row list
+(** Table 1 claims with [ε] fixed to 1/2 (colors are [O(log n)] for every
+    polylog row and are checked separately). *)
+
+val find : row list -> string -> row
+
+val ratio : row -> [ `Diameter | `Rounds ] -> n:int -> epsilon:float -> measured:int -> float
+(** [measured / formula(n, ε)] — the quantity that should be flat in [n]
+    for a shape-correct implementation. *)

@@ -1,0 +1,166 @@
+open Dsgraph
+module Mis = Apps.Mis
+module Coloring = Apps.Coloring
+module Decomposition = Cluster.Decomposition
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let is_ok = function Ok () -> true | Error _ -> false
+
+let fail_on_error = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checker rejected: %s" e
+
+let workload seed =
+  let rng = Rng.create seed in
+  [
+    ("path", Gen.path 50);
+    ("cycle", Gen.cycle 41);
+    ("grid", Gen.grid 7 7);
+    ("star", Gen.star 20);
+    ("complete", Gen.complete 12);
+    ("tree", Gen.random_tree (Rng.split rng) 60);
+    ("er", Gen.ensure_connected rng (Gen.erdos_renyi (Rng.split rng) 50 0.08));
+    ("expander", Gen.expander (Rng.split rng) 64);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* MIS                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_mis_families () =
+  List.iter
+    (fun (name, g) ->
+      ignore name;
+      let mis, _ = Mis.run g in
+      fail_on_error (Mis.check g mis))
+    (workload 1)
+
+let test_mis_on_weak_decomposition () =
+  (* the template also works on weak-diameter decompositions *)
+  let g = Gen.grid 8 8 in
+  let d = Strongdecomp.Netdecomp.weak g in
+  let mis = Mis.of_decomposition g d in
+  fail_on_error (Mis.check g mis)
+
+let test_mis_path_structure () =
+  let g = Gen.path 10 in
+  let mis, _ = Mis.run g in
+  fail_on_error (Mis.check g mis);
+  let size = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mis in
+  (* MIS of a 10-path has between 4 and 5 nodes *)
+  check bool "size plausible" true (size >= 4 && size <= 5)
+
+let test_mis_complete_graph () =
+  let g = Gen.complete 15 in
+  let mis, _ = Mis.run g in
+  fail_on_error (Mis.check g mis);
+  check int "exactly one" 1
+    (Array.fold_left (fun a b -> if b then a + 1 else a) 0 mis)
+
+let test_mis_checker_rejects_bad () =
+  let g = Gen.path 4 in
+  check bool "non-maximal rejected" false
+    (is_ok (Mis.check g [| false; false; false; false |]));
+  check bool "dependent rejected" false
+    (is_ok (Mis.check g [| true; true; false; true |]))
+
+let test_mis_charges_cost () =
+  let cost = Congest.Cost.create () in
+  ignore (Mis.run ~cost (Gen.grid 7 7));
+  check bool "rounds" true (Congest.Cost.rounds cost > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Coloring                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_coloring_families () =
+  List.iter
+    (fun (name, g) ->
+      ignore name;
+      let colors, _ = Coloring.run g in
+      fail_on_error (Coloring.check g colors))
+    (workload 2)
+
+let test_coloring_cycle_uses_three () =
+  let g = Gen.cycle 9 in
+  let colors, _ = Coloring.run g in
+  fail_on_error (Coloring.check ~palette:3 g colors)
+
+let test_coloring_bipartite_grid_small_palette () =
+  let g = Gen.grid 8 8 in
+  let colors, _ = Coloring.run g in
+  (* grid has max degree 4: palette must fit in 5 *)
+  fail_on_error (Coloring.check ~palette:5 g colors)
+
+let test_coloring_checker_rejects_bad () =
+  let g = Gen.path 3 in
+  check bool "monochromatic edge" false
+    (is_ok (Coloring.check g [| 0; 0; 1 |]));
+  check bool "uncolored" false (is_ok (Coloring.check g [| 0; -1; 1 |]));
+  check bool "palette overflow" false
+    (is_ok (Coloring.check ~palette:1 g [| 0; 1; 0 |]))
+
+let test_coloring_on_improved_decomposition () =
+  let g = Gen.grid 8 8 in
+  let d = Strongdecomp.Netdecomp.strong_improved g in
+  let colors = Coloring.of_decomposition g d in
+  fail_on_error (Coloring.check g colors)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let arb_connected =
+  QCheck.make
+    ~print:(fun (seed, n, pct) -> Printf.sprintf "seed=%d n=%d p=%d%%" seed n pct)
+    QCheck.Gen.(triple (int_bound 100_000) (int_range 2 40) (int_range 3 25))
+
+let connected_graph (seed, n, pct) =
+  let rng = Rng.create seed in
+  Gen.ensure_connected rng (Gen.erdos_renyi rng n (float_of_int pct /. 100.0))
+
+let prop_mis =
+  QCheck.Test.make ~name:"mis via decomposition is independent and maximal"
+    ~count:50 arb_connected (fun input ->
+      let g = connected_graph input in
+      let mis, _ = Mis.run g in
+      is_ok (Mis.check g mis))
+
+let prop_coloring =
+  QCheck.Test.make ~name:"coloring via decomposition is proper within Δ+1"
+    ~count:50 arb_connected (fun input ->
+      let g = connected_graph input in
+      let colors, _ = Coloring.run g in
+      is_ok (Coloring.check g colors))
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "mis",
+        [
+          Alcotest.test_case "families" `Quick test_mis_families;
+          Alcotest.test_case "weak decomposition" `Quick
+            test_mis_on_weak_decomposition;
+          Alcotest.test_case "path" `Quick test_mis_path_structure;
+          Alcotest.test_case "complete" `Quick test_mis_complete_graph;
+          Alcotest.test_case "checker rejects" `Quick
+            test_mis_checker_rejects_bad;
+          Alcotest.test_case "charges cost" `Quick test_mis_charges_cost;
+        ] );
+      ( "coloring",
+        [
+          Alcotest.test_case "families" `Quick test_coloring_families;
+          Alcotest.test_case "cycle" `Quick test_coloring_cycle_uses_three;
+          Alcotest.test_case "grid palette" `Quick
+            test_coloring_bipartite_grid_small_palette;
+          Alcotest.test_case "checker rejects" `Quick
+            test_coloring_checker_rejects_bad;
+          Alcotest.test_case "improved decomposition" `Quick
+            test_coloring_on_improved_decomposition;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_mis; prop_coloring ] );
+    ]

@@ -1,0 +1,398 @@
+open Dsgraph
+module Clustering = Cluster.Clustering
+module Steiner = Cluster.Steiner
+module Carving = Cluster.Carving
+module Decomposition = Cluster.Decomposition
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let is_ok = function Ok () -> true | Error _ -> false
+
+let result_t = Alcotest.testable (fun fmt r ->
+    match r with
+    | Ok () -> Format.fprintf fmt "Ok"
+    | Error e -> Format.fprintf fmt "Error %s" e)
+    (fun a b -> is_ok a = is_ok b)
+
+(* ------------------------------------------------------------------ *)
+(* Clustering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_clustering_normalizes () =
+  let g = Gen.path 5 in
+  let c = Clustering.make g ~cluster_of:[| 7; 7; -1; 42; 42 |] in
+  check int "num clusters" 2 (Clustering.num_clusters c);
+  check int "first" 0 (Clustering.cluster_of c 0);
+  check int "second" 1 (Clustering.cluster_of c 3);
+  check int "unclustered" (-1) (Clustering.cluster_of c 2);
+  Alcotest.(check (list int)) "members 0" [ 0; 1 ] (Clustering.members c 0);
+  Alcotest.(check (list int)) "members 1" [ 3; 4 ] (Clustering.members c 1);
+  check int "clustered count" 4 (Clustering.clustered_count c);
+  Alcotest.(check (list int)) "unclustered" [ 2 ] (Clustering.unclustered c)
+
+let test_clustering_length_mismatch () =
+  let g = Gen.path 3 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Clustering.make: array length mismatch") (fun () ->
+      ignore (Clustering.make g ~cluster_of:[| 0; 0 |]))
+
+let test_clustering_adjacency () =
+  let g = Gen.path 4 in
+  let adjacent = Clustering.make g ~cluster_of:[| 0; 0; 1; 1 |] in
+  check bool "adjacent" false (Clustering.non_adjacent adjacent);
+  Alcotest.(check (list (pair int int)))
+    "pair" [ (0, 1) ]
+    (Clustering.adjacent_cluster_pairs adjacent);
+  let separated = Clustering.make g ~cluster_of:[| 0; 0; -1; 1 |] in
+  check bool "separated" true (Clustering.non_adjacent separated)
+
+let test_clustering_largest () =
+  let g = Gen.path 6 in
+  let c = Clustering.make g ~cluster_of:[| 0; 0; 0; 1; 1; -1 |] in
+  check int "largest" 0 (Clustering.largest_cluster c);
+  Alcotest.(check (array int)) "sizes" [| 3; 2 |] (Clustering.sizes c)
+
+let test_clustering_strong_diameter () =
+  let g = Gen.cycle 8 in
+  let c = Clustering.make g ~cluster_of:[| 0; 0; 0; -1; 1; 1; -1; 0 |] in
+  (* cluster 0 = {0,1,2,7}: induced path 7-0-1-2 -> diameter 3 *)
+  check int "arc diameter" 3 (Clustering.strong_diameter c 0);
+  check int "pair" 1 (Clustering.strong_diameter c 1);
+  check int "max strong" 3 (Clustering.max_strong_diameter c)
+
+let test_clustering_disconnected_cluster () =
+  let g = Gen.star 5 in
+  let c = Clustering.make g ~cluster_of:[| -1; 0; 0; -1; -1 |] in
+  check int "strong" (-1) (Clustering.strong_diameter c 0);
+  check int "max strong" (-1) (Clustering.max_strong_diameter c);
+  check int "weak through hub" 2 (Clustering.weak_diameter c 0);
+  check int "max weak" 2 (Clustering.max_weak_diameter c)
+
+let test_clustering_weak_diameter_masked () =
+  let g = Gen.star 5 in
+  let c = Clustering.make g ~cluster_of:[| -1; 0; 0; -1; -1 |] in
+  (* excluding the hub from the host graph disconnects the leaves *)
+  let within = Mask.of_list 5 [ 1; 2; 3; 4 ] in
+  check int "masked weak" (-1) (Clustering.weak_diameter ~within c 0)
+
+(* ------------------------------------------------------------------ *)
+(* Steiner trees                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tree_path =
+  (* path 0-1-2-3 rooted at 0 *)
+  { Steiner.root = 0; parent = [ (0, 0); (1, 0); (2, 1); (3, 2) ] }
+
+let test_steiner_depth () =
+  check int "path depth" 3 (Steiner.depth tree_path);
+  check int "singleton" 0 (Steiner.depth { Steiner.root = 5; parent = [ (5, 5) ] })
+
+let test_steiner_nodes () =
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3 ] (Steiner.nodes tree_path)
+
+let test_steiner_check_valid () =
+  let g = Gen.path 4 in
+  check result_t "valid" (Ok ())
+    (Steiner.check g tree_path ~terminals:[ 0; 3 ])
+
+let test_steiner_check_missing_terminal () =
+  let g = Gen.path 5 in
+  check bool "missing terminal rejected" false
+    (is_ok (Steiner.check g tree_path ~terminals:[ 4 ]))
+
+let test_steiner_check_non_edge () =
+  let g = Gen.path 4 in
+  let tree = { Steiner.root = 0; parent = [ (0, 0); (3, 0) ] } in
+  check bool "non-edge rejected" false (is_ok (Steiner.check g tree ~terminals:[]))
+
+let test_steiner_check_cycle () =
+  let g = Gen.cycle 4 in
+  let tree =
+    { Steiner.root = 0; parent = [ (0, 0); (1, 2); (2, 1); (3, 0) ] }
+  in
+  check bool "cycle rejected" false (is_ok (Steiner.check g tree ~terminals:[]))
+
+let test_steiner_check_missing_root () =
+  let g = Gen.path 4 in
+  let tree = { Steiner.root = 0; parent = [ (1, 0); (2, 1) ] } in
+  check bool "missing root entry rejected" false
+    (is_ok (Steiner.check g tree ~terminals:[ 1 ]))
+
+let test_steiner_congestion () =
+  let g = Gen.star 4 in
+  (* two trees both using edge (0,1) *)
+  let t1 = { Steiner.root = 0; parent = [ (0, 0); (1, 0) ] } in
+  let t2 = { Steiner.root = 1; parent = [ (1, 1); (0, 1); (2, 0) ] } in
+  check int "congestion" 2 (Steiner.congestion g [| t1; t2 |]);
+  check int "single tree" 1 (Steiner.congestion g [| t1 |])
+
+let test_steiner_forest_check () =
+  let g = Gen.path 4 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; -1; 1 |] in
+  let forest =
+    [|
+      { Steiner.root = 0; parent = [ (0, 0); (1, 0) ] };
+      { Steiner.root = 3; parent = [ (3, 3) ] };
+    |]
+  in
+  check result_t "forest ok" (Ok ())
+    (Steiner.check_forest g forest ~clustering ~depth_bound:1
+       ~congestion_bound:1);
+  check bool "depth bound violation" false
+    (is_ok
+       (Steiner.check_forest g forest ~clustering ~depth_bound:0
+          ~congestion_bound:1))
+
+(* ------------------------------------------------------------------ *)
+(* Carving                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_carving_dead_fraction () =
+  let g = Gen.path 4 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; -1; 1 |] in
+  let carving = Carving.make clustering ~domain:(Mask.full 4) in
+  Alcotest.(check (list int)) "dead" [ 2 ] (Carving.dead carving);
+  check (Alcotest.float 1e-9) "fraction" 0.25 (Carving.dead_fraction carving)
+
+let test_carving_domain_violation () =
+  let g = Gen.path 4 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; -1; 1 |] in
+  Alcotest.check_raises "outside domain"
+    (Invalid_argument "Carving.make: clustered node outside domain") (fun () ->
+      ignore (Carving.make clustering ~domain:(Mask.of_list 4 [ 0; 1; 2 ])))
+
+let test_carving_check_strong () =
+  let g = Gen.path 6 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; -1; 1; 1; 1 |] in
+  let carving = Carving.make clustering ~domain:(Mask.full 6) in
+  check result_t "ok" (Ok ())
+    (Carving.check_strong ~epsilon:0.2 ~diameter_bound:2 carving);
+  check bool "diameter bound" false
+    (is_ok (Carving.check_strong ~diameter_bound:1 carving));
+  check bool "epsilon bound" false
+    (is_ok (Carving.check_strong ~epsilon:0.1 carving))
+
+let test_carving_check_rejects_adjacent_clusters () =
+  let g = Gen.path 4 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; 1; 1 |] in
+  let carving = Carving.make clustering ~domain:(Mask.full 4) in
+  check bool "adjacent rejected" false (is_ok (Carving.check_strong carving))
+
+let test_carving_check_rejects_disconnected_cluster () =
+  let g = Gen.star 5 in
+  let clustering = Clustering.make g ~cluster_of:[| -1; 0; 0; -1; -1 |] in
+  let carving = Carving.make clustering ~domain:(Mask.full 5) in
+  check bool "weak ok" true (is_ok (Carving.check_weak carving));
+  check bool "strong rejects" false (is_ok (Carving.check_strong carving))
+
+let test_carving_check_weak_with_steiner () =
+  let g = Gen.star 5 in
+  let clustering = Clustering.make g ~cluster_of:[| -1; 0; 0; -1; -1 |] in
+  let carving = Carving.make clustering ~domain:(Mask.full 5) in
+  let forest =
+    [| { Steiner.root = 1; parent = [ (1, 1); (0, 1); (2, 0) ] } |]
+  in
+  check result_t "weak with trees" (Ok ())
+    (Carving.check_weak ~steiner:forest ~depth_bound:2 ~congestion_bound:1
+       carving);
+  check bool "tight depth fails" false
+    (is_ok
+       (Carving.check_weak ~steiner:forest ~depth_bound:1 ~congestion_bound:1
+          carving))
+
+let test_carving_empty_domain () =
+  let g = Gen.path 3 in
+  let clustering = Clustering.make g ~cluster_of:[| -1; -1; -1 |] in
+  let carving = Carving.make clustering ~domain:(Mask.empty 3) in
+  check (Alcotest.float 1e-9) "no dead fraction" 0.0
+    (Carving.dead_fraction carving)
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_decomposition_valid () =
+  let g = Gen.path 6 in
+  (* clusters {0,1} {2,3} {4,5}; alternate colors 0 1 0 *)
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; 1; 1; 2; 2 |] in
+  let d = Decomposition.make clustering ~color_of_cluster:[| 0; 1; 0 |] in
+  check int "colors" 2 (Decomposition.num_colors d);
+  check result_t "valid" (Ok ()) (Decomposition.check d);
+  check int "node color" 1 (Decomposition.color_of_node d 3);
+  Alcotest.(check (list int)) "color 0 clusters" [ 0; 2 ]
+    (Decomposition.clusters_of_color d 0)
+
+let test_decomposition_rejects_same_color_adjacent () =
+  let g = Gen.path 4 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; 1; 1 |] in
+  let d = Decomposition.make clustering ~color_of_cluster:[| 0; 0 |] in
+  check bool "same color adjacent" false (is_ok (Decomposition.check d))
+
+let test_decomposition_rejects_unclustered () =
+  let g = Gen.path 3 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; -1; 1 |] in
+  let d = Decomposition.make clustering ~color_of_cluster:[| 0; 0 |] in
+  check bool "unclustered node" false (is_ok (Decomposition.check d));
+  (* ... unless the domain excludes it *)
+  check bool "domain excuses" true
+    (is_ok (Decomposition.check ~domain:(Mask.of_list 3 [ 0; 2 ]) d))
+
+let test_decomposition_bounds () =
+  let g = Gen.path 6 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; 1; 1; 2; 2 |] in
+  let d = Decomposition.make clustering ~color_of_cluster:[| 0; 1; 0 |] in
+  check bool "colors bound ok" true (is_ok (Decomposition.check ~colors_bound:2 d));
+  check bool "colors bound tight" false
+    (is_ok (Decomposition.check ~colors_bound:1 d));
+  check bool "strong diameter ok" true
+    (is_ok (Decomposition.check ~strong_diameter_bound:1 d));
+  check bool "strong diameter tight" false
+    (is_ok (Decomposition.check ~strong_diameter_bound:0 d))
+
+let test_decomposition_quality () =
+  let g = Gen.path 6 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; 0; 1; 1; 1 |] in
+  let d = Decomposition.make clustering ~color_of_cluster:[| 0; 1 |] in
+  let colors, strong, weak = Decomposition.quality d in
+  check int "colors" 2 colors;
+  check int "strong" 2 strong;
+  check int "weak" 2 weak
+
+let test_decomposition_rejects_negative_color () =
+  let g = Gen.path 2 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0 |] in
+  Alcotest.check_raises "negative color"
+    (Invalid_argument "Decomposition.make: negative color") (fun () ->
+      ignore (Decomposition.make clustering ~color_of_cluster:[| -1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection: corrupt a valid decomposition and expect reject   *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutate real algorithm outputs and make sure the checkers notice. *)
+
+let test_checker_catches_steiner_corruption () =
+  let g = Gen.grid 6 6 in
+  let r = Weakdiam.Weak_carving.carve g ~epsilon:0.5 in
+  let forest = r.Weakdiam.Weak_carving.forest in
+  let carving = r.Weakdiam.Weak_carving.carving in
+  check bool "pristine accepted" true
+    (is_ok (Carving.check_weak ~epsilon:0.5 ~steiner:forest carving));
+  (* corrupt one tree: make a non-root entry its own parent (breaks the
+     parent-chain-reaches-root invariant) *)
+  let target =
+    Array.to_list forest
+    |> List.find_opt (fun t -> List.length t.Steiner.parent > 1)
+  in
+  match target with
+  | None -> () (* all clusters are singletons: nothing to corrupt *)
+  | Some victim ->
+      let idx =
+        let found = ref 0 in
+        Array.iteri (fun i t -> if t == victim then found := i) forest;
+        !found
+      in
+      let bad_parent =
+        List.map
+          (fun (v, p) -> if v <> victim.Steiner.root then (v, v) else (v, p))
+          victim.Steiner.parent
+      in
+      let corrupted = Array.copy forest in
+      corrupted.(idx) <- { victim with parent = bad_parent };
+      check bool "corrupted rejected" false
+        (is_ok (Carving.check_weak ~epsilon:0.5 ~steiner:corrupted carving))
+
+let test_checker_catches_membership_corruption () =
+  let g = Gen.grid 6 6 in
+  let carving = Baseline.Greedy.carve g ~epsilon:0.5 in
+  let clustering = carving.Carving.clustering in
+  check bool "pristine accepted" true (is_ok (Carving.check_strong carving));
+  (* move one node into a non-adjacent foreign cluster *)
+  let cluster_of =
+    Array.init (Graph.n g) (fun v -> Clustering.cluster_of clustering v)
+  in
+  if Clustering.num_clusters clustering >= 2 then begin
+    let a = List.hd (Clustering.members clustering 0) in
+    cluster_of.(a) <- 1;
+    let mutated =
+      Carving.make (Clustering.make g ~cluster_of) ~domain:(Mask.full (Graph.n g))
+    in
+    (* either the cluster is now disconnected or two clusters touch *)
+    check bool "mutated rejected" false (is_ok (Carving.check_strong mutated))
+  end
+
+let test_checker_catches_color_corruption () =
+  let g = Gen.cycle 6 in
+  let clustering = Clustering.make g ~cluster_of:[| 0; 0; 1; 1; 2; 2 |] in
+  let good = Decomposition.make clustering ~color_of_cluster:[| 0; 1; 2 |] in
+  check bool "good" true (is_ok (Decomposition.check good));
+  (* all-same color must fail: clusters 0 and 1 are adjacent *)
+  let bad = Decomposition.make clustering ~color_of_cluster:[| 0; 0; 0 |] in
+  check bool "bad" false (is_ok (Decomposition.check bad))
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "clustering",
+        [
+          Alcotest.test_case "normalizes" `Quick test_clustering_normalizes;
+          Alcotest.test_case "length mismatch" `Quick
+            test_clustering_length_mismatch;
+          Alcotest.test_case "adjacency" `Quick test_clustering_adjacency;
+          Alcotest.test_case "largest" `Quick test_clustering_largest;
+          Alcotest.test_case "strong diameter" `Quick
+            test_clustering_strong_diameter;
+          Alcotest.test_case "disconnected cluster" `Quick
+            test_clustering_disconnected_cluster;
+          Alcotest.test_case "weak diameter masked" `Quick
+            test_clustering_weak_diameter_masked;
+        ] );
+      ( "steiner",
+        [
+          Alcotest.test_case "depth" `Quick test_steiner_depth;
+          Alcotest.test_case "nodes" `Quick test_steiner_nodes;
+          Alcotest.test_case "check valid" `Quick test_steiner_check_valid;
+          Alcotest.test_case "missing terminal" `Quick
+            test_steiner_check_missing_terminal;
+          Alcotest.test_case "non edge" `Quick test_steiner_check_non_edge;
+          Alcotest.test_case "cycle" `Quick test_steiner_check_cycle;
+          Alcotest.test_case "missing root" `Quick
+            test_steiner_check_missing_root;
+          Alcotest.test_case "congestion" `Quick test_steiner_congestion;
+          Alcotest.test_case "forest check" `Quick test_steiner_forest_check;
+        ] );
+      ( "carving",
+        [
+          Alcotest.test_case "dead fraction" `Quick test_carving_dead_fraction;
+          Alcotest.test_case "domain violation" `Quick
+            test_carving_domain_violation;
+          Alcotest.test_case "check strong" `Quick test_carving_check_strong;
+          Alcotest.test_case "rejects adjacent clusters" `Quick
+            test_carving_check_rejects_adjacent_clusters;
+          Alcotest.test_case "rejects disconnected cluster" `Quick
+            test_carving_check_rejects_disconnected_cluster;
+          Alcotest.test_case "weak with steiner" `Quick
+            test_carving_check_weak_with_steiner;
+          Alcotest.test_case "empty domain" `Quick test_carving_empty_domain;
+        ] );
+      ( "decomposition",
+        [
+          Alcotest.test_case "valid" `Quick test_decomposition_valid;
+          Alcotest.test_case "same color adjacent" `Quick
+            test_decomposition_rejects_same_color_adjacent;
+          Alcotest.test_case "unclustered" `Quick
+            test_decomposition_rejects_unclustered;
+          Alcotest.test_case "bounds" `Quick test_decomposition_bounds;
+          Alcotest.test_case "quality" `Quick test_decomposition_quality;
+          Alcotest.test_case "negative color" `Quick
+            test_decomposition_rejects_negative_color;
+          Alcotest.test_case "catches corruption" `Quick
+            test_checker_catches_color_corruption;
+          Alcotest.test_case "catches steiner corruption" `Quick
+            test_checker_catches_steiner_corruption;
+          Alcotest.test_case "catches membership corruption" `Quick
+            test_checker_catches_membership_corruption;
+        ] );
+    ]

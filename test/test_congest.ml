@@ -1,0 +1,342 @@
+open Dsgraph
+module Sim = Congest.Sim
+module Bits = Congest.Bits
+module Cost = Congest.Cost
+module Programs = Congest.Programs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Bits                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_bits () =
+  check int "0" 1 (Bits.int_bits 0);
+  check int "1" 1 (Bits.int_bits 1);
+  check int "2" 2 (Bits.int_bits 2);
+  check int "255" 8 (Bits.int_bits 255);
+  check int "256" 9 (Bits.int_bits 256)
+
+let test_id_bits () =
+  check int "n=1" 1 (Bits.id_bits ~n:1);
+  check int "n=2" 1 (Bits.id_bits ~n:2);
+  check int "n=1024" 10 (Bits.id_bits ~n:1024);
+  check int "n=1025" 11 (Bits.id_bits ~n:1025)
+
+(* ------------------------------------------------------------------ *)
+(* Cost meter                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_accumulates () =
+  let c = Cost.create () in
+  Cost.charge c ~rounds:3 ~messages:10 ~max_bits:16 "a";
+  Cost.charge c ~rounds:2 ~messages:5 ~max_bits:8 "b";
+  Cost.charge c "a";
+  check int "rounds" 6 (Cost.rounds c);
+  check int "messages" 15 (Cost.messages c);
+  check int "max bits" 16 (Cost.max_message_bits c);
+  Alcotest.(check (list (pair string int)))
+    "breakdown" [ ("a", 4); ("b", 2) ] (Cost.breakdown c)
+
+let test_cost_reset () =
+  let c = Cost.create () in
+  Cost.charge c ~rounds:3 "x";
+  Cost.reset c;
+  check int "rounds" 0 (Cost.rounds c);
+  check int "messages" 0 (Cost.messages c)
+
+let test_cost_parallel () =
+  let acc = Cost.create () in
+  let mk r =
+    let c = Cost.create () in
+    Cost.charge c ~rounds:r ~messages:r "sub";
+    c
+  in
+  Cost.parallel acc [ mk 5; mk 9; mk 2 ] "par";
+  check int "max rounds" 9 (Cost.rounds acc);
+  check int "sum messages" 16 (Cost.messages acc)
+
+let test_cost_merge_max () =
+  let acc = Cost.create () in
+  Cost.charge acc ~rounds:5 ~messages:3 ~max_bits:10 "a";
+  let other = Cost.create () in
+  Cost.charge other ~rounds:2 ~messages:4 ~max_bits:12 "a";
+  Cost.charge other ~rounds:1 "b";
+  Cost.merge_max acc other;
+  check int "rounds added" 8 (Cost.rounds acc);
+  check int "messages added" 7 (Cost.messages acc);
+  check int "max bits" 12 (Cost.max_message_bits acc);
+  Alcotest.(check (list (pair string int)))
+    "breakdown merged" [ ("a", 7); ("b", 1) ] (Cost.breakdown acc)
+
+let test_cost_parallel_empty () =
+  let acc = Cost.create () in
+  Cost.parallel acc [] "nothing";
+  check int "no rounds" 0 (Cost.rounds acc)
+
+let test_cost_rejects_negative () =
+  let c = Cost.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Cost.charge: negative charge") (fun () ->
+      Cost.charge c ~rounds:(-1) "x")
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* a one-round program where each node sends its id to all neighbors and
+   records the max received *)
+type gossip_state = { sent : bool; best : int }
+
+let gossip_program g =
+  {
+    Sim.init = (fun ~node ~neighbors:_ -> { sent = false; best = node });
+    round =
+      (fun ~node ~state ~inbox ->
+        let best = List.fold_left (fun acc (_, m) -> max acc m) state.best inbox in
+        if not state.sent then
+          let out =
+            Array.to_list
+              (Array.map (fun nb -> (nb, node)) (Graph.neighbors g node))
+          in
+          ({ sent = true; best }, out, false)
+        else ({ state with best }, [], true));
+  }
+
+let test_sim_delivers_messages () =
+  let g = Gen.cycle 5 in
+  let states, stats = Sim.run ~bits:(fun _ -> 3) g (gossip_program g) in
+  check bool "halted" true stats.all_halted;
+  check int "messages" 10 stats.total_messages;
+  (* every node hears its two neighbors *)
+  Array.iteri
+    (fun v st ->
+      let expected = max v (max ((v + 1) mod 5) ((v + 4) mod 5)) in
+      check int "max of closed neighborhood" expected st.best)
+    states
+
+let test_sim_bandwidth_enforced () =
+  let g = Gen.path 2 in
+  let oversized =
+    {
+      Sim.init = (fun ~node:_ ~neighbors:_ -> ());
+      round = (fun ~node:_ ~state:_ ~inbox:_ -> ((), [ (1, ()) ], true));
+    }
+  in
+  Alcotest.check_raises "bandwidth"
+    (Sim.Bandwidth_exceeded { node = 0; bits = 9999; bandwidth = 10 })
+    (fun () ->
+      ignore (Sim.run ~bandwidth:10 ~bits:(fun _ -> 9999) g oversized))
+
+let test_sim_rejects_non_neighbor () =
+  let g = Gen.path 3 in
+  let bad =
+    {
+      Sim.init = (fun ~node:_ ~neighbors:_ -> ());
+      round =
+        (fun ~node ~state:_ ~inbox:_ ->
+          if node = 0 then ((), [ (2, ()) ], true) else ((), [], true));
+    }
+  in
+  Alcotest.check_raises "non neighbor"
+    (Invalid_argument "Sim.run: node 0 sent to non-neighbor 2") (fun () ->
+      ignore (Sim.run ~bits:(fun _ -> 1) g bad))
+
+let test_sim_rejects_double_send () =
+  let g = Gen.path 2 in
+  let bad =
+    {
+      Sim.init = (fun ~node:_ ~neighbors:_ -> ());
+      round =
+        (fun ~node ~state:_ ~inbox:_ ->
+          if node = 0 then ((), [ (1, ()); (1, ()) ], true) else ((), [], true));
+    }
+  in
+  Alcotest.check_raises "double send"
+    (Invalid_argument "Sim.run: node 0 sent twice to 1 in one round") (fun () ->
+      ignore (Sim.run ~bits:(fun _ -> 1) g bad))
+
+let test_sim_max_rounds_cutoff () =
+  let g = Gen.path 2 in
+  let forever =
+    {
+      Sim.init = (fun ~node:_ ~neighbors:_ -> ());
+      round = (fun ~node:_ ~state:_ ~inbox:_ -> ((), [], false));
+    }
+  in
+  let _, stats = Sim.run ~max_rounds:7 ~bits:(fun _ -> 1) g forever in
+  check int "cut off" 7 stats.rounds_used;
+  check bool "not halted" false stats.all_halted
+
+(* ------------------------------------------------------------------ *)
+(* Classic programs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_leader_election_connected () =
+  let g = Gen.ensure_connected (Rng.create 2) (Gen.erdos_renyi (Rng.create 1) 40 0.08) in
+  let leaders, stats = Programs.leader_election g in
+  check bool "halted" true stats.all_halted;
+  Array.iter (fun l -> check int "leader is min id" 0 l) leaders
+
+let test_leader_election_per_component () =
+  let g = Gen.disjoint_union (Gen.cycle 4) (Gen.path 3) in
+  let leaders, _ = Programs.leader_election g in
+  for v = 0 to 3 do
+    check int "first comp" 0 leaders.(v)
+  done;
+  for v = 4 to 6 do
+    check int "second comp" 4 leaders.(v)
+  done
+
+let test_leader_election_rounds_near_diameter () =
+  let g = Gen.path 30 in
+  let _, stats = Programs.leader_election g in
+  (* min id is 0 at one end: needs ~29 rounds to flood, plus constant *)
+  check bool "rounds lower" true (stats.rounds_used >= 29);
+  check bool "rounds upper" true (stats.rounds_used <= 35)
+
+let test_leader_election_message_size () =
+  let g = Gen.grid 8 8 in
+  let _, stats = Programs.leader_election g in
+  check bool "messages are O(log n) bits" true
+    (stats.max_bits_seen <= Bits.bandwidth ~n:(Graph.n g))
+
+let test_bfs_program_matches_central () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.ensure_connected rng (Gen.erdos_renyi rng 30 0.1) in
+      let (dist, parent), stats = Programs.bfs g ~source:0 in
+      check bool "halted" true stats.all_halted;
+      let expected = Bfs.distances g ~source:0 in
+      Alcotest.(check (array int)) "distances" expected dist;
+      for v = 0 to Graph.n g - 1 do
+        if v <> 0 && dist.(v) >= 0 then begin
+          check bool "parent edge" true (Graph.is_edge g v parent.(v));
+          check int "parent closer" (dist.(v) - 1) dist.(parent.(v))
+        end
+      done)
+    [ 1; 2; 3 ]
+
+let test_bfs_program_rounds_anchor_cost_model () =
+  (* this anchors the Cost charging rule: a radius-r wave costs ~r rounds *)
+  let g = Gen.path 20 in
+  let (_, _), stats = Programs.bfs g ~source:0 in
+  check bool "wave takes ecc + O(1) rounds" true
+    (stats.rounds_used >= 19 && stats.rounds_used <= 24)
+
+let test_subtree_counts_path () =
+  let g = Gen.path 5 in
+  let parent = [| 0; 0; 1; 2; 3 |] in
+  let counts, stats = Programs.subtree_counts g ~parent in
+  check bool "halted" true stats.all_halted;
+  Alcotest.(check (array int)) "counts" [| 5; 4; 3; 2; 1 |] counts
+
+let test_subtree_counts_bfs_tree () =
+  let rng = Rng.create 4 in
+  let g = Gen.ensure_connected rng (Gen.erdos_renyi rng 25 0.12) in
+  let parent = Bfs.parents g ~source:0 in
+  let counts, _ = Programs.subtree_counts g ~parent in
+  check int "root counts all" (Graph.n g) counts.(0)
+
+let test_subtree_counts_skips_non_tree_nodes () =
+  let g = Gen.path 4 in
+  let parent = [| 0; 0; -1; -1 |] in
+  let counts, _ = Programs.subtree_counts g ~parent in
+  check int "root" 2 counts.(0);
+  check int "outside untouched" 1 counts.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Property: simulator BFS = sequential BFS                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sim_bfs =
+  QCheck.Test.make ~name:"simulated BFS equals sequential BFS" ~count:25
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_bound 10_000) (int_range 2 30)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Gen.ensure_connected rng (Gen.erdos_renyi rng n 0.15) in
+      let src = seed mod n in
+      let (dist, _), _ = Programs.bfs g ~source:src in
+      dist = Bfs.distances g ~source:src)
+
+let prop_leader_min =
+  QCheck.Test.make ~name:"leader election finds component minimum" ~count:25
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_bound 10_000) (int_range 2 30)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Gen.erdos_renyi rng n 0.1 in
+      let leaders, _ = Programs.leader_election g in
+      let ids, _ = Components.component_ids g in
+      let mins = Hashtbl.create 8 in
+      List.iter
+        (fun v ->
+          let c = ids.(v) in
+          let cur = Option.value ~default:max_int (Hashtbl.find_opt mins c) in
+          Hashtbl.replace mins c (min cur v))
+        (Graph.nodes g);
+      List.for_all
+        (fun v -> leaders.(v) = Hashtbl.find mins ids.(v))
+        (Graph.nodes g))
+
+let () =
+  Alcotest.run "congest"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "int_bits" `Quick test_int_bits;
+          Alcotest.test_case "id_bits" `Quick test_id_bits;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "accumulates" `Quick test_cost_accumulates;
+          Alcotest.test_case "reset" `Quick test_cost_reset;
+          Alcotest.test_case "parallel" `Quick test_cost_parallel;
+          Alcotest.test_case "merge max" `Quick test_cost_merge_max;
+          Alcotest.test_case "parallel empty" `Quick test_cost_parallel_empty;
+          Alcotest.test_case "rejects negative" `Quick
+            test_cost_rejects_negative;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "delivers messages" `Quick
+            test_sim_delivers_messages;
+          Alcotest.test_case "bandwidth enforced" `Quick
+            test_sim_bandwidth_enforced;
+          Alcotest.test_case "rejects non-neighbor" `Quick
+            test_sim_rejects_non_neighbor;
+          Alcotest.test_case "rejects double send" `Quick
+            test_sim_rejects_double_send;
+          Alcotest.test_case "max rounds cutoff" `Quick
+            test_sim_max_rounds_cutoff;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "leader election" `Quick
+            test_leader_election_connected;
+          Alcotest.test_case "leader per component" `Quick
+            test_leader_election_per_component;
+          Alcotest.test_case "leader rounds ~ diameter" `Quick
+            test_leader_election_rounds_near_diameter;
+          Alcotest.test_case "leader message size" `Quick
+            test_leader_election_message_size;
+          Alcotest.test_case "bfs matches central" `Quick
+            test_bfs_program_matches_central;
+          Alcotest.test_case "bfs rounds anchor cost model" `Quick
+            test_bfs_program_rounds_anchor_cost_model;
+          Alcotest.test_case "subtree counts path" `Quick
+            test_subtree_counts_path;
+          Alcotest.test_case "subtree counts bfs tree" `Quick
+            test_subtree_counts_bfs_tree;
+          Alcotest.test_case "subtree counts skip" `Quick
+            test_subtree_counts_skips_non_tree_nodes;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_sim_bfs; prop_leader_min ] );
+    ]

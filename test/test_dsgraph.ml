@@ -1,0 +1,646 @@
+open Dsgraph
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementations used as oracles                            *)
+(* ------------------------------------------------------------------ *)
+
+(* O(n^3) Floyd–Warshall distances as an oracle for BFS. *)
+let reference_distances g =
+  let n = Graph.n g in
+  let inf = max_int / 4 in
+  let d = Array.make_matrix n n inf in
+  for v = 0 to n - 1 do
+    d.(v).(v) <- 0
+  done;
+  Graph.iter_edges g (fun u v ->
+      d.(u).(v) <- 1;
+      d.(v).(u) <- 1);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.(i).(k) + d.(k).(j) < d.(i).(j) then
+          d.(i).(j) <- d.(i).(k) + d.(k).(j)
+      done
+    done
+  done;
+  Array.map (Array.map (fun x -> if x >= inf then -1 else x)) d
+
+let random_graph seed n p =
+  let rng = Rng.create seed in
+  Gen.erdos_renyi rng n p
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_dedup () =
+  let g = Graph.create ~n:4 ~edges:[ (0, 1); (1, 0); (0, 1); (2, 3) ] in
+  check int "m" 2 (Graph.m g);
+  check bool "edge 0-1" true (Graph.is_edge g 0 1);
+  check bool "edge 1-0" true (Graph.is_edge g 1 0);
+  check bool "edge 0-2" false (Graph.is_edge g 0 2)
+
+let test_create_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.create: self-loop")
+    (fun () -> ignore (Graph.create ~n:3 ~edges:[ (1, 1) ]))
+
+let test_create_rejects_out_of_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Graph.create: endpoint out of range") (fun () ->
+      ignore (Graph.create ~n:3 ~edges:[ (0, 3) ]))
+
+let test_degrees () =
+  let g = Gen.star 5 in
+  check int "center degree" 4 (Graph.degree g 0);
+  check int "leaf degree" 1 (Graph.degree g 3);
+  check int "max degree" 4 (Graph.max_degree g)
+
+let test_edges_ordered () =
+  let g = Graph.create ~n:4 ~edges:[ (3, 2); (1, 0); (2, 0) ] in
+  Alcotest.(check (list (pair int int)))
+    "edges" [ (0, 1); (0, 2); (2, 3) ] (Graph.edges g)
+
+let test_edge_index_distinct () =
+  let g = Gen.grid 4 4 in
+  let seen = Hashtbl.create 32 in
+  Graph.iter_edges g (fun u v ->
+      let i = Graph.edge_index g (u, v) in
+      check bool "fresh index" false (Hashtbl.mem seen i);
+      Hashtbl.add seen i ();
+      check int "orientation independent" i (Graph.edge_index g (v, u)));
+  check int "count" (Graph.m g) (Hashtbl.length seen)
+
+let test_of_adj_symmetrizes () =
+  let g = Graph.of_adj [| [| 1 |]; [||]; [| 1 |] |] in
+  check bool "0-1" true (Graph.is_edge g 0 1);
+  check bool "1-2" true (Graph.is_edge g 1 2);
+  check int "m" 2 (Graph.m g)
+
+let test_equal () =
+  let a = Gen.cycle 5 and b = Gen.cycle 5 and c = Gen.path 5 in
+  check bool "equal" true (Graph.equal a b);
+  check bool "not equal" false (Graph.equal a c)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_path () =
+  let g = Gen.path 6 in
+  check int "n" 6 (Graph.n g);
+  check int "m" 5 (Graph.m g);
+  check int "diameter" 5 (Bfs.eccentricity g 0)
+
+let test_gen_cycle () =
+  let g = Gen.cycle 8 in
+  check int "m" 8 (Graph.m g);
+  check int "regular" 2 (Graph.max_degree g);
+  check int "ecc" 4 (Bfs.eccentricity g 0)
+
+let test_gen_complete () =
+  let g = Gen.complete 6 in
+  check int "m" 15 (Graph.m g);
+  check int "ecc" 1 (Bfs.eccentricity g 3)
+
+let test_gen_grid () =
+  let g = Gen.grid 3 4 in
+  check int "n" 12 (Graph.n g);
+  check int "m" ((2 * 4) + (3 * 3)) (Graph.m g);
+  check int "corner-to-corner" 5 (Bfs.distances g ~source:0).(11)
+
+let test_gen_torus () =
+  let g = Gen.torus 4 4 in
+  check int "n" 16 (Graph.n g);
+  check int "4-regular" 4 (Graph.max_degree g);
+  check int "m" 32 (Graph.m g)
+
+let test_gen_binary_tree () =
+  let g = Gen.binary_tree 7 in
+  check int "m" 6 (Graph.m g);
+  check bool "connected" true (Components.is_connected g)
+
+let test_gen_hypercube () =
+  let g = Gen.hypercube 4 in
+  check int "n" 16 (Graph.n g);
+  check int "m" 32 (Graph.m g);
+  check int "diameter" 4 (Bfs.eccentricity g 0)
+
+let test_gen_random_tree () =
+  let g = Gen.random_tree (Rng.create 7) 40 in
+  check int "m" 39 (Graph.m g);
+  check bool "connected" true (Components.is_connected g)
+
+let test_gen_random_regular_even () =
+  let g = Gen.random_regular (Rng.create 3) 20 3 in
+  check int "n" 20 (Graph.n g);
+  List.iter (fun v -> check int "degree 3" 3 (Graph.degree g v)) (Graph.nodes g)
+
+let test_gen_random_regular_odd_n_even_d () =
+  let g = Gen.random_regular (Rng.create 3) 21 4 in
+  List.iter (fun v -> check int "degree 4" 4 (Graph.degree g v)) (Graph.nodes g)
+
+let test_gen_expander_connected () =
+  let g = Gen.expander (Rng.create 11) 64 in
+  check bool "connected" true (Components.is_connected g);
+  check int "4-regular" 4 (Graph.max_degree g)
+
+let test_gen_subdivide () =
+  let g = Gen.cycle 4 in
+  let s = Gen.subdivide g 3 in
+  check int "n" (4 + (4 * 3)) (Graph.n s);
+  check int "m" (4 * 4) (Graph.m s);
+  check bool "connected" true (Components.is_connected s);
+  check int "2-regular" 2 (Graph.max_degree s);
+  (* original nodes keep ids: node 0 and 1 now at distance 4 *)
+  check int "stretched distance" 4 (Bfs.distances s ~source:0).(1)
+
+let test_gen_subdivide_zero () =
+  let g = Gen.grid 3 3 in
+  check bool "identity" true (Graph.equal g (Gen.subdivide g 0))
+
+let test_gen_ring_of_cliques () =
+  let g = Gen.ring_of_cliques 4 5 in
+  check int "n" 20 (Graph.n g);
+  check bool "connected" true (Components.is_connected g);
+  check int "m" ((4 * 10) + 4) (Graph.m g)
+
+let test_gen_barbell () =
+  let g = Gen.barbell 4 3 in
+  check int "n" 11 (Graph.n g);
+  check bool "connected" true (Components.is_connected g);
+  (* 0 -> 3 -> 4 -> 5 -> 6 -> 7 -> 10 *)
+  check int "cross distance" 6 (Bfs.distances g ~source:0).(10)
+
+let test_gen_lollipop () =
+  let g = Gen.lollipop 5 4 in
+  check int "n" 9 (Graph.n g);
+  check bool "connected" true (Components.is_connected g)
+
+let test_gen_caterpillar () =
+  let g = Gen.caterpillar (Rng.create 5) 10 15 in
+  check int "n" 25 (Graph.n g);
+  check int "m (tree)" 24 (Graph.m g);
+  check bool "connected" true (Components.is_connected g)
+
+let test_gen_planted_partition () =
+  let g = Gen.planted_partition (Rng.create 5) 3 10 0.9 0.05 in
+  check int "n" 30 (Graph.n g)
+
+let test_gen_disjoint_union () =
+  let g = Gen.disjoint_union (Gen.path 3) (Gen.cycle 3) in
+  check int "n" 6 (Graph.n g);
+  check int "m" 5 (Graph.m g);
+  check bool "disconnected" false (Components.is_connected g)
+
+let test_gen_ensure_connected () =
+  let rng = Rng.create 9 in
+  let g = Gen.disjoint_union (Gen.path 3) (Gen.cycle 4) in
+  let g = Gen.ensure_connected rng g in
+  check bool "connected" true (Components.is_connected g)
+
+(* ------------------------------------------------------------------ *)
+(* BFS                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs_matches_floyd_warshall () =
+  List.iter
+    (fun seed ->
+      let g = random_graph seed 24 0.12 in
+      let ref_d = reference_distances g in
+      for s = 0 to Graph.n g - 1 do
+        let d = Bfs.distances g ~source:s in
+        for v = 0 to Graph.n g - 1 do
+          check int (Printf.sprintf "d(%d,%d) seed %d" s v seed) ref_d.(s).(v)
+            d.(v)
+        done
+      done)
+    [ 1; 2; 3 ]
+
+let test_bfs_mask_blocks () =
+  let g = Gen.path 5 in
+  let mask = Mask.of_list 5 [ 0; 1; 3; 4 ] in
+  let d = Bfs.distances ~mask g ~source:0 in
+  check int "reaches 1" 1 d.(1);
+  check int "blocked" (-1) d.(3);
+  check int "masked-out source side" (-1) d.(4)
+
+let test_bfs_multi_source () =
+  let g = Gen.path 7 in
+  let d = Bfs.multi_distances g ~sources:[ 0; 6 ] in
+  check int "middle" 3 d.(3);
+  check int "near left" 1 d.(1);
+  check int "near right" 1 d.(5)
+
+let test_bfs_parents_form_tree () =
+  let g = random_graph 4 30 0.15 in
+  let p = Bfs.parents g ~source:0 in
+  let d = Bfs.distances g ~source:0 in
+  check int "source parent" 0 p.(0);
+  for v = 1 to Graph.n g - 1 do
+    if d.(v) >= 0 then begin
+      check bool "parent is edge" true (Graph.is_edge g v p.(v));
+      check int "parent one closer" (d.(v) - 1) d.(p.(v))
+    end
+    else check int "unreachable has no parent" (-1) p.(v)
+  done
+
+let test_bfs_ball () =
+  let g = Gen.grid 5 5 in
+  let ball = Bfs.ball g ~center:12 ~radius:1 in
+  Alcotest.(check (list int)) "plus shape" [ 7; 11; 12; 13; 17 ] ball
+
+let test_bfs_layer_sizes_cumulative () =
+  let g = Gen.cycle 10 in
+  let ls = Bfs.layer_sizes g ~sources:[ 0 ] in
+  check int "layers" 6 (Array.length ls);
+  check int "B_0" 1 ls.(0);
+  check int "B_1" 3 ls.(1);
+  check int "B_5" 10 ls.(5)
+
+let test_diameter_of_set () =
+  let g = Gen.path 10 in
+  check int "sub-path" 3 (Bfs.diameter_of_set g [ 2; 3; 4; 5 ]);
+  check int "disconnected" (-1) (Bfs.diameter_of_set g [ 0; 1; 5; 6 ]);
+  check int "singleton" 0 (Bfs.diameter_of_set g [ 4 ]);
+  check int "empty" 0 (Bfs.diameter_of_set g [])
+
+let test_weak_vs_strong_diameter () =
+  (* star: leaves are pairwise non-adjacent; induced subgraph on leaves is
+     disconnected but weak diameter through the hub is 2 *)
+  let g = Gen.star 6 in
+  let leaves = [ 1; 2; 3; 4; 5 ] in
+  check int "strong disconnected" (-1) (Bfs.diameter_of_set g leaves);
+  check int "weak via hub" 2 (Bfs.weak_diameter_of_set g leaves)
+
+let test_component_of () =
+  let g = Gen.disjoint_union (Gen.path 3) (Gen.path 2) in
+  Alcotest.(check (list int)) "first" [ 0; 1; 2 ] (Bfs.component_of g 1);
+  Alcotest.(check (list int)) "second" [ 3; 4 ] (Bfs.component_of g 4)
+
+(* ------------------------------------------------------------------ *)
+(* Components                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_components_basic () =
+  let g = Gen.disjoint_union (Gen.cycle 3) (Gen.path 4) in
+  let comps = Components.components g in
+  check int "count" 2 (List.length comps);
+  check bool "connected check" false (Components.is_connected g)
+
+let test_components_mask () =
+  let g = Gen.path 6 in
+  let mask = Mask.of_list 6 [ 0; 1; 3; 4; 5 ] in
+  let comps = Components.components ~mask g in
+  check int "two pieces" 2 (List.length comps);
+  Alcotest.(check (list int)) "largest" [ 3; 4; 5 ] (Components.largest ~mask g)
+
+let test_component_ids_cover () =
+  let g = random_graph 8 40 0.05 in
+  let ids, k = Components.component_ids g in
+  Array.iter (fun id -> check bool "in range" true (id >= 0 && id < k)) ids;
+  Graph.iter_edges g (fun u v -> check int "edge same comp" ids.(u) ids.(v))
+
+(* ------------------------------------------------------------------ *)
+(* Power graphs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_path () =
+  let g = Gen.path 6 in
+  let g2 = Power.power g 2 in
+  check bool "0-2" true (Graph.is_edge g2 0 2);
+  check bool "0-1 kept" true (Graph.is_edge g2 0 1);
+  check bool "0-3 absent" false (Graph.is_edge g2 0 3)
+
+let test_power_matches_distances () =
+  let g = random_graph 5 20 0.1 in
+  let k = 3 in
+  let gk = Power.power g k in
+  let ref_d = reference_distances g in
+  for u = 0 to Graph.n g - 1 do
+    for v = u + 1 to Graph.n g - 1 do
+      let expected = ref_d.(u).(v) >= 1 && ref_d.(u).(v) <= k in
+      check bool
+        (Printf.sprintf "power edge %d-%d" u v)
+        expected (Graph.is_edge gk u v)
+    done
+  done
+
+let test_power_one_is_identity () =
+  let g = random_graph 6 15 0.2 in
+  check bool "G^1 = G" true (Graph.equal g (Power.power g 1))
+
+(* ------------------------------------------------------------------ *)
+(* Mask                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mask_ops () =
+  let m = Mask.of_list 10 [ 1; 3; 5 ] in
+  check int "count" 3 (Mask.count m);
+  Mask.add m 7;
+  Mask.add m 7;
+  check int "idempotent add" 4 (Mask.count m);
+  Mask.remove m 1;
+  Mask.remove m 1;
+  check int "idempotent remove" 3 (Mask.count m);
+  Alcotest.(check (list int)) "to_list" [ 3; 5; 7 ] (Mask.to_list m)
+
+let test_mask_set_ops () =
+  let a = Mask.of_list 6 [ 0; 1; 2; 3 ] in
+  let b = Mask.of_list 6 [ 2; 3; 4 ] in
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Mask.to_list (Mask.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0; 1 ] (Mask.to_list (Mask.diff a b));
+  check bool "subset no" false (Mask.subset a b);
+  check bool "subset yes" true (Mask.subset (Mask.of_list 6 [ 2 ]) b)
+
+(* ------------------------------------------------------------------ *)
+(* Subgraph                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_subgraph_induce_basic () =
+  let g = Gen.cycle 6 in
+  let h, back = Subgraph.induce g [ 0; 1; 2; 4 ] in
+  check int "n" 4 (Graph.n h);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 2; 4 |] back;
+  (* surviving edges: (0,1), (1,2); node 4's neighbors 3 and 5 are gone *)
+  check int "m" 2 (Graph.m h);
+  check bool "0-1" true (Graph.is_edge h 0 1);
+  check bool "4 isolated" true (Graph.degree h 3 = 0)
+
+let test_subgraph_induce_rejects_bad () =
+  let g = Gen.path 4 in
+  Alcotest.check_raises "dup" (Invalid_argument "Subgraph.induce: duplicate nodes")
+    (fun () -> ignore (Subgraph.induce g [ 1; 1 ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Subgraph.induce: node out of range") (fun () ->
+      ignore (Subgraph.induce g [ 7 ]))
+
+let test_subgraph_induce_mask () =
+  let g = Gen.grid 4 4 in
+  let mask = Mask.of_list 16 [ 0; 1; 4; 5 ] in
+  let h, back = Subgraph.induce_mask g mask in
+  check int "n" 4 (Graph.n h);
+  check int "m (2x2 block)" 4 (Graph.m h);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 4; 5 |] back
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_cut () =
+  let g = Gen.path 4 in
+  let s = Mask.of_list 4 [ 0; 1 ] in
+  check int "cut" 1 (Metrics.cut_edges g s);
+  check int "volume" 3 (Metrics.volume g s);
+  Alcotest.(check (list int)) "boundary" [ 2 ] (Metrics.node_boundary g s)
+
+let test_metrics_conductance () =
+  let g = Gen.complete 4 in
+  let s = Mask.of_list 4 [ 0; 1 ] in
+  (* cut = 4, vol = 6 *)
+  check (Alcotest.float 1e-9) "phi" (4.0 /. 6.0) (Metrics.conductance_of_set g s)
+
+let test_metrics_sweep () =
+  (* barbell has a very sparse middle cut; sweep from inside one clique
+     must find it *)
+  let g = Gen.barbell 8 4 in
+  let phi = Metrics.sweep_conductance g ~source:0 in
+  check bool "finds sparse cut" true (phi < 0.05)
+
+let test_metrics_average_degree () =
+  check (Alcotest.float 1e-9) "cycle" 2.0 (Metrics.average_degree (Gen.cycle 7))
+
+let test_metrics_histogram () =
+  let g = Gen.star 4 in
+  Alcotest.(check (list (pair int int)))
+    "hist" [ (1, 3); (3, 1) ] (Metrics.degree_histogram g)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 50 do
+    check int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    check bool "in range" true (x >= 0 && x < 7)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check bool "streams differ" true (xs <> ys)
+
+let test_rng_permutation () =
+  let p = Rng.permutation (Rng.create 3) 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 200 do
+    check bool "nonneg" true (Rng.exponential rng 0.5 >= 0.0)
+  done
+
+let test_rng_geometric_mean () =
+  let rng = Rng.create 5 in
+  let k = 20000 in
+  let sum = ref 0 in
+  for _ = 1 to k do
+    sum := !sum + Rng.geometric rng 0.5
+  done;
+  let mean = float_of_int !sum /. float_of_int k in
+  (* E[failures before success] = (1-p)/p = 1 *)
+  check bool "mean near 1" true (abs_float (mean -. 1.0) < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun (seed, n, pct) -> Printf.sprintf "seed=%d n=%d p=%d%%" seed n pct)
+    QCheck.Gen.(
+      triple (int_bound 10_000) (int_range 2 40) (int_range 0 40))
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~name:"bfs distances satisfy edge triangle inequality"
+    ~count:60 arb_graph (fun (seed, n, pct) ->
+      let g = random_graph seed n (float_of_int pct /. 100.0) in
+      let d = Bfs.distances g ~source:0 in
+      Graph.fold_edges g ~init:true ~f:(fun ok u v ->
+          (* adjacent nodes are both reachable or both not, and their
+             distances differ by at most one *)
+          ok
+          && (d.(u) >= 0) = (d.(v) >= 0)
+          && (d.(u) < 0 || abs (d.(u) - d.(v)) <= 1)))
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the node set" ~count:60 arb_graph
+    (fun (seed, n, pct) ->
+      let g = random_graph seed n (float_of_int pct /. 100.0) in
+      let all = List.concat (Components.components g) in
+      List.sort compare all = Graph.nodes g)
+
+let prop_subdivide_preserves_components =
+  QCheck.Test.make ~name:"subdivision preserves component count" ~count:40
+    arb_graph (fun (seed, n, pct) ->
+      let g = random_graph seed n (float_of_int pct /. 100.0) in
+      let _, k = Components.component_ids g in
+      let isolated =
+        List.length (List.filter (fun v -> Graph.degree g v = 0) (Graph.nodes g))
+      in
+      let s = Gen.subdivide g 2 in
+      let _, k' = Components.component_ids s in
+      (* isolated nodes stay isolated; others keep their components *)
+      k' = k && isolated <= k)
+
+let prop_subgraph_distances_dominate =
+  QCheck.Test.make ~name:"induced distances dominate original distances"
+    ~count:40 arb_graph (fun (seed, n, pct) ->
+      let g = random_graph seed n (float_of_int pct /. 100.0) in
+      let keep = List.filter (fun v -> v mod 2 = 0) (Graph.nodes g) in
+      match keep with
+      | [] -> true
+      | src :: _ ->
+          let h, back = Subgraph.induce g keep in
+          let dh = Bfs.distances h ~source:0 in
+          let dg = Bfs.distances g ~source:src in
+          List.for_all
+            (fun i -> dh.(i) = -1 || dh.(i) >= dg.(back.(i)))
+            (Graph.nodes h))
+
+let prop_power_monotone =
+  QCheck.Test.make ~name:"G^k edges grow with k" ~count:30 arb_graph
+    (fun (seed, n, pct) ->
+      let g = random_graph seed n (float_of_int pct /. 100.0) in
+      Graph.m (Power.power g 2) <= Graph.m (Power.power g 3))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_bfs_triangle_inequality;
+      prop_components_partition;
+      prop_subdivide_preserves_components;
+      prop_subgraph_distances_dominate;
+      prop_power_monotone;
+    ]
+
+let () =
+  Alcotest.run "dsgraph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "create dedups" `Quick test_create_dedup;
+          Alcotest.test_case "rejects self loop" `Quick
+            test_create_rejects_self_loop;
+          Alcotest.test_case "rejects out of range" `Quick
+            test_create_rejects_out_of_range;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "edges ordered" `Quick test_edges_ordered;
+          Alcotest.test_case "edge_index distinct" `Quick
+            test_edge_index_distinct;
+          Alcotest.test_case "of_adj symmetrizes" `Quick test_of_adj_symmetrizes;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "path" `Quick test_gen_path;
+          Alcotest.test_case "cycle" `Quick test_gen_cycle;
+          Alcotest.test_case "complete" `Quick test_gen_complete;
+          Alcotest.test_case "grid" `Quick test_gen_grid;
+          Alcotest.test_case "torus" `Quick test_gen_torus;
+          Alcotest.test_case "binary tree" `Quick test_gen_binary_tree;
+          Alcotest.test_case "hypercube" `Quick test_gen_hypercube;
+          Alcotest.test_case "random tree" `Quick test_gen_random_tree;
+          Alcotest.test_case "random regular (even n)" `Quick
+            test_gen_random_regular_even;
+          Alcotest.test_case "random regular (odd n, even d)" `Quick
+            test_gen_random_regular_odd_n_even_d;
+          Alcotest.test_case "expander connected" `Quick
+            test_gen_expander_connected;
+          Alcotest.test_case "subdivide" `Quick test_gen_subdivide;
+          Alcotest.test_case "subdivide zero" `Quick test_gen_subdivide_zero;
+          Alcotest.test_case "ring of cliques" `Quick test_gen_ring_of_cliques;
+          Alcotest.test_case "barbell" `Quick test_gen_barbell;
+          Alcotest.test_case "lollipop" `Quick test_gen_lollipop;
+          Alcotest.test_case "caterpillar" `Quick test_gen_caterpillar;
+          Alcotest.test_case "planted partition" `Quick
+            test_gen_planted_partition;
+          Alcotest.test_case "disjoint union" `Quick test_gen_disjoint_union;
+          Alcotest.test_case "ensure connected" `Quick test_gen_ensure_connected;
+        ] );
+      ( "bfs",
+        [
+          Alcotest.test_case "matches Floyd-Warshall" `Quick
+            test_bfs_matches_floyd_warshall;
+          Alcotest.test_case "mask blocks" `Quick test_bfs_mask_blocks;
+          Alcotest.test_case "multi source" `Quick test_bfs_multi_source;
+          Alcotest.test_case "parents form tree" `Quick
+            test_bfs_parents_form_tree;
+          Alcotest.test_case "ball" `Quick test_bfs_ball;
+          Alcotest.test_case "layer sizes cumulative" `Quick
+            test_bfs_layer_sizes_cumulative;
+          Alcotest.test_case "diameter of set" `Quick test_diameter_of_set;
+          Alcotest.test_case "weak vs strong diameter" `Quick
+            test_weak_vs_strong_diameter;
+          Alcotest.test_case "component_of" `Quick test_component_of;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "basic" `Quick test_components_basic;
+          Alcotest.test_case "mask" `Quick test_components_mask;
+          Alcotest.test_case "ids cover" `Quick test_component_ids_cover;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "path" `Quick test_power_path;
+          Alcotest.test_case "matches distances" `Quick
+            test_power_matches_distances;
+          Alcotest.test_case "identity" `Quick test_power_one_is_identity;
+        ] );
+      ( "subgraph",
+        [
+          Alcotest.test_case "induce basic" `Quick test_subgraph_induce_basic;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_subgraph_induce_rejects_bad;
+          Alcotest.test_case "induce mask" `Quick test_subgraph_induce_mask;
+        ] );
+      ( "mask",
+        [
+          Alcotest.test_case "ops" `Quick test_mask_ops;
+          Alcotest.test_case "set ops" `Quick test_mask_set_ops;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "cut" `Quick test_metrics_cut;
+          Alcotest.test_case "conductance" `Quick test_metrics_conductance;
+          Alcotest.test_case "sweep" `Quick test_metrics_sweep;
+          Alcotest.test_case "average degree" `Quick test_metrics_average_degree;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "exponential positive" `Quick
+            test_rng_exponential_positive;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+        ] );
+      ("properties", qcheck_cases);
+    ]

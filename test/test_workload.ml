@@ -1,0 +1,172 @@
+(* Tests for the workload/measurement harness itself: family generators at
+   several sizes, the algorithm registry, measurement rows (validity
+   verdicts included), the theory formulas, and the CSV writers. *)
+
+open Dsgraph
+module Suite = Workload.Suite
+module Algorithms = Workload.Algorithms
+module Measure = Workload.Measure
+module Theory = Workload.Theory
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_families_build () =
+  List.iter
+    (fun (fam : Suite.family) ->
+      List.iter
+        (fun n ->
+          let g = fam.Suite.build ~seed:7 ~n in
+          check bool
+            (Printf.sprintf "%s n=%d nonempty" fam.Suite.name n)
+            true (Graph.n g > 0);
+          (* size should be in the requested ballpark *)
+          check bool
+            (Printf.sprintf "%s n=%d size %d in ballpark" fam.Suite.name n
+               (Graph.n g))
+            true
+            (Graph.n g >= n / 4 && Graph.n g <= (3 * n) + 8))
+        [ 64; 256 ])
+    Suite.all
+
+let test_families_deterministic () =
+  List.iter
+    (fun (fam : Suite.family) ->
+      let a = fam.Suite.build ~seed:3 ~n:128 in
+      let b = fam.Suite.build ~seed:3 ~n:128 in
+      check bool (fam.Suite.name ^ " deterministic") true (Graph.equal a b))
+    Suite.all
+
+let test_core_families_connected () =
+  List.iter
+    (fun (fam : Suite.family) ->
+      let g = fam.Suite.build ~seed:5 ~n:200 in
+      check bool (fam.Suite.name ^ " connected") true (Components.is_connected g))
+    Suite.core
+
+let test_find_family () =
+  check Alcotest.string "grid found" "grid" (Suite.find "grid").Suite.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Suite.find "nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_names_unique () =
+  let names = List.map (fun (d : Algorithms.decomposer) -> d.name) Algorithms.decomposers in
+  check int "unique decomposer names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  let cnames = List.map (fun (c : Algorithms.carver) -> c.c_name) Algorithms.carvers in
+  check int "unique carver names" (List.length cnames)
+    (List.length (List.sort_uniq compare cnames))
+
+let test_registry_contains_paper_rows () =
+  List.iter
+    (fun name -> ignore (Algorithms.find_decomposer name))
+    [ "ls93"; "rg20"; "ggr21"; "mpx"; "abcp96"; "thm2.3"; "thm3.4"; "thm2.1+ls" ];
+  List.iter
+    (fun name -> ignore (Algorithms.find_carver name))
+    [ "ls93"; "rg20"; "ggr21"; "mpx"; "thm2.2"; "thm3.3"; "thm2.1+ls" ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurement rows                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_decomposition_rows_valid () =
+  List.iter
+    (fun name ->
+      let d = Algorithms.find_decomposer name in
+      let row = Measure.decomposition_row ~seed:11 d Suite.grid ~n:100 in
+      check bool (name ^ " row valid") true row.Measure.valid;
+      check bool (name ^ " rounds positive") true (row.Measure.rounds > 0))
+    [ "ls93"; "ggr21"; "mpx"; "greedy"; "thm2.3"; "thm3.4" ]
+
+let test_carving_rows_valid () =
+  List.iter
+    (fun name ->
+      let c = Algorithms.find_carver name in
+      let row = Measure.carving_row ~seed:11 c Suite.path ~n:128 ~epsilon:0.5 in
+      check bool (name ^ " row valid") true row.Measure.c_valid;
+      check bool (name ^ " dead within eps") true
+        (row.Measure.c_dead_fraction <= 0.5 +. 1e-9))
+    [ "ls93"; "rg20"; "ggr21"; "mpx"; "thm2.2"; "thm3.3" ]
+
+let test_csv_shape () =
+  let d = Algorithms.find_decomposer "greedy" in
+  let rows =
+    [
+      Measure.decomposition_row ~seed:1 d Suite.grid ~n:64;
+      Measure.decomposition_row ~seed:1 d Suite.path ~n:64;
+    ]
+  in
+  let csv = Measure.decomp_csv rows in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check int "header + 2 rows" 3 (List.length lines);
+  check bool "header fields" true
+    (String.length (List.hd lines) > 0
+    && String.split_on_char ',' (List.hd lines) |> List.length = 14)
+
+(* ------------------------------------------------------------------ *)
+(* Theory formulas                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_theory_ordering () =
+  (* at any fixed n and eps, the paper's Table 2 diameter hierarchy holds
+     between the formulas themselves *)
+  let n = 4096 and epsilon = 0.5 in
+  let d name =
+    (Theory.find Theory.carving_rows name).Theory.diameter ~n ~epsilon
+  in
+  check bool "mpx <= ggr21" true (d "mpx" <= d "ggr21");
+  check bool "ggr21 <= rg20" true (d "ggr21" <= d "rg20");
+  check bool "thm3.3 <= thm2.2" true (d "thm3.3" <= d "thm2.2")
+
+let test_theory_epsilon_scaling () =
+  let row = Theory.find Theory.carving_rows "thm2.2" in
+  let a = row.Theory.rounds ~n:1024 ~epsilon:0.5 in
+  let b = row.Theory.rounds ~n:1024 ~epsilon:0.25 in
+  (* rounds scale as 1/eps^2 *)
+  check (Alcotest.float 1e-6) "eps^-2 scaling" 4.0 (b /. a)
+
+let test_theory_ratio () =
+  let row = Theory.find Theory.carving_rows "ls93" in
+  let formula = row.Theory.diameter ~n:1024 ~epsilon:0.5 in
+  let r = Theory.ratio row `Diameter ~n:1024 ~epsilon:0.5 ~measured:20 in
+  check (Alcotest.float 1e-9) "ratio" (20.0 /. formula) r
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "families build" `Quick test_families_build;
+          Alcotest.test_case "deterministic" `Quick test_families_deterministic;
+          Alcotest.test_case "core connected" `Quick test_core_families_connected;
+          Alcotest.test_case "find" `Quick test_find_family;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "unique names" `Quick test_registry_names_unique;
+          Alcotest.test_case "paper rows present" `Quick
+            test_registry_contains_paper_rows;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "decomposition rows" `Quick
+            test_decomposition_rows_valid;
+          Alcotest.test_case "carving rows" `Quick test_carving_rows_valid;
+          Alcotest.test_case "csv shape" `Quick test_csv_shape;
+        ] );
+      ( "theory",
+        [
+          Alcotest.test_case "ordering" `Quick test_theory_ordering;
+          Alcotest.test_case "epsilon scaling" `Quick test_theory_epsilon_scaling;
+          Alcotest.test_case "ratio" `Quick test_theory_ratio;
+        ] );
+    ]
