@@ -191,6 +191,96 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ algo_arg $ family_arg $ seed_arg $ sizes_arg $ out_arg)
 
+let faults_cmd =
+  let algo_arg =
+    let parse s =
+      match s with
+      | "ls" -> Ok Workload.Faults.Ls
+      | "weakdiam" -> Ok Workload.Faults.Weakdiam
+      | _ -> Error (`Msg (Printf.sprintf "unknown fault algorithm %s" s))
+    in
+    let print ppf a =
+      Format.pp_print_string ppf
+        (match a with Workload.Faults.Ls -> "ls" | Workload.Faults.Weakdiam -> "weakdiam")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Workload.Faults.Ls
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:"Algorithm to run through the reliable transport: ls, weakdiam.")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "drop" ] ~docv:"P" ~doc:"IID message drop probability in [0,1].")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"K"
+          ~doc:"Number of crash-stop faults (seeded nodes and rounds).")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run the full drop x crash grid (drops 0/0.01/0.05/0.1, crashes \
+             0/2) instead of a single scenario, and emit CSV.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write CSV here (default stdout).")
+  in
+  let run algorithm family n seed epsilon drop crashes sweep out =
+    (* surface the simulator's incomplete-run warnings *)
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Warning);
+    if not (drop >= 0.0 && drop <= 1.0) then begin
+      Format.eprintf "drop rate %g not in [0,1]@." drop;
+      exit 2
+    end;
+    if crashes < 0 then begin
+      Format.eprintf "crash count %d is negative@." crashes;
+      exit 2
+    end;
+    let _ = lookup_family family in
+    let rows =
+      if sweep then
+        Workload.Faults.sweep ~seed algorithm ~family ~n ~epsilon
+      else
+        [
+          Workload.Faults.run
+            { Workload.Faults.algorithm; family; n; epsilon; drop; crashes; seed };
+        ]
+    in
+    (if sweep then
+       let csv = Workload.Faults.csv rows in
+       match out with
+       | None -> print_string csv
+       | Some path ->
+           let oc = open_out path in
+           output_string oc csv;
+           close_out oc;
+           Format.printf "wrote %s (%d rows)@." path (List.length rows)
+     else
+       List.iter
+         (fun r -> Format.printf "%a@." Workload.Faults.pp_row r)
+         rows);
+    if List.exists (fun (r : Workload.Faults.row) -> not r.valid) rows then
+      exit 1
+  in
+  let doc =
+    "run a distributed carving through the reliable transport under a seeded \
+     fault adversary and check graceful degradation"
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ algo_arg $ family_arg $ n_arg $ seed_arg $ epsilon_arg
+      $ drop_arg $ crashes_arg $ sweep_arg $ out_arg)
+
 let list_cmd =
   let run () =
     Format.printf "families:@.";
@@ -216,4 +306,5 @@ let () =
   let info = Cmd.info "decompose" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; carve_cmd; lemma31_cmd; sweep_cmd; list_cmd ]))
+       (Cmd.group info
+          [ run_cmd; carve_cmd; lemma31_cmd; sweep_cmd; faults_cmd; list_cmd ]))

@@ -8,7 +8,10 @@ type state = {
 
 let better (p1, s1) (p2, s2) = p1 > p2 || (p1 = p2 && s1 > s2)
 
-let attempt rng g ~epsilon =
+(* Shared between the plain and reliable-transport runs so that, given
+   equal RNG states, both execute the identical node program — the basis
+   of the zero-fault transparency tests. *)
+let build rng g ~epsilon =
   let n = Graph.n g in
   let cap = Linial_saks.max_radius ~n ~epsilon in
   (* per-node radii drawn up front; nodes only use their own entry *)
@@ -45,14 +48,51 @@ let attempt rng g ~epsilon =
           else (state, [], true));
     }
   in
+  (cap, msg_bits, program)
+
+let cluster_of_states states =
+  Array.map (fun s -> if s.best_slack >= 1 then s.best_prio else -1) states
+
+let attempt rng g ~epsilon =
+  let cap, msg_bits, program = build rng g ~epsilon in
   let states, stats =
     Congest.Sim.run ~max_rounds:((2 * cap) + 8) ~bits:(fun _ -> msg_bits) g
       program
   in
-  let cluster_of =
-    Array.map (fun s -> if s.best_slack >= 1 then s.best_prio else -1) states
+  (cluster_of_states states, stats)
+
+type reliable_attempt = {
+  cluster_of : int array;
+  crashed : int list;
+  finished : bool array;
+  dead_view : int list array;
+  sim_stats : Congest.Sim.stats;
+  transport : Congest.Reliable.transport_stats;
+  inner_rounds : int;
+}
+
+let attempt_reliable ?adversary ?(liveness_timeout = 64) rng g ~epsilon =
+  let cap, msg_bits, program = build rng g ~epsilon in
+  (* the flood quiesces within 2*cap + 2 inner rounds; the rest is slack *)
+  let inner_rounds = (2 * cap) + 8 in
+  let cfg = Congest.Reliable.config ~inner_rounds ~liveness_timeout () in
+  let r =
+    Congest.Reliable.run ?adversary ~on_incomplete:`Ignore cfg
+      ~bits:(fun _ -> msg_bits)
+      g program
   in
-  (cluster_of, stats)
+  let cluster_of = cluster_of_states r.Congest.Reliable.states in
+  let crashed = r.Congest.Reliable.sim_stats.Congest.Sim.faults.crashed in
+  List.iter (fun v -> cluster_of.(v) <- -1) crashed;
+  {
+    cluster_of;
+    crashed;
+    finished = r.Congest.Reliable.finished;
+    dead_view = r.Congest.Reliable.dead_view;
+    sim_stats = r.Congest.Reliable.sim_stats;
+    transport = r.Congest.Reliable.transport;
+    inner_rounds;
+  }
 
 let carve ?(max_retries = 60) rng g ~epsilon =
   if epsilon <= 0.0 || epsilon >= 1.0 then

@@ -17,6 +17,40 @@
     [Linial_saks.carve] charges [2·max_radius + 2] rounds per attempt, and
     the test suite checks the simulator's actual round count agrees. *)
 
+val attempt :
+  Dsgraph.Rng.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  int array * Congest.Sim.stats
+(** One carving attempt on the fault-free simulator: per-node cluster
+    labels ([-1] = dead/boundary) and the measured statistics. Exposed for
+    the fault experiments, which compare it against {!attempt_reliable}
+    run from an equal RNG state. *)
+
+type reliable_attempt = {
+  cluster_of : int array;
+      (** labels as in {!attempt}; crashed nodes are forced to [-1] *)
+  crashed : int list;  (** ground truth from the fault schedule *)
+  finished : bool array;  (** per node: executed all inner rounds *)
+  dead_view : int list array;  (** per node: neighbors it declared dead *)
+  sim_stats : Congest.Sim.stats;
+  transport : Congest.Reliable.transport_stats;
+  inner_rounds : int;
+}
+
+val attempt_reliable :
+  ?adversary:Congest.Fault.t ->
+  ?liveness_timeout:int ->
+  Dsgraph.Rng.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  reliable_attempt
+(** The same attempt wrapped in {!Congest.Reliable} and run against an
+    optional fault adversary, with [inner_rounds = 2·max_radius + 8].
+    With no adversary (or one with all rates zero and no crashes) the
+    resulting [cluster_of] is {e identical} to {!attempt} run from an
+    equal RNG state — zero-fault transparency. *)
+
 val carve :
   ?max_retries:int ->
   Dsgraph.Rng.t ->

@@ -1,0 +1,127 @@
+open Dsgraph
+
+type burst = {
+  from_round : int;
+  until_round : int;
+  on_edges : (int * int) list option;
+}
+
+type spec = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  delay : float;
+  delay_window : int;
+  bursts : burst list;
+  crashes : (int * int) list;
+}
+
+let spec ?(seed = 0) ?(drop = 0.0) ?(duplicate = 0.0) ?(delay = 0.0)
+    ?(delay_window = 0) ?(bursts = []) ?(crashes = []) () =
+  { seed; drop; duplicate; delay; delay_window; bursts; crashes }
+
+type t = {
+  sp : spec;
+  rng : Rng.t;
+  crash_round : (int, int) Hashtbl.t;
+  mutable n_dropped : int;
+  mutable n_duplicated : int;
+  mutable n_delayed : int;
+}
+
+let create sp =
+  let check_rate name r =
+    if r < 0.0 || r > 1.0 then
+      invalid_arg (Printf.sprintf "Fault.create: %s rate %g not in [0,1]" name r)
+  in
+  check_rate "drop" sp.drop;
+  check_rate "duplicate" sp.duplicate;
+  check_rate "delay" sp.delay;
+  if sp.delay_window < 0 then invalid_arg "Fault.create: negative delay_window";
+  List.iter
+    (fun b ->
+      if b.until_round < b.from_round || b.from_round < 1 then
+        invalid_arg "Fault.create: bad burst window")
+    sp.bursts;
+  let crash_round = Hashtbl.create (List.length sp.crashes) in
+  List.iter
+    (fun (v, r) ->
+      if r < 1 then invalid_arg "Fault.create: crash round must be >= 1";
+      match Hashtbl.find_opt crash_round v with
+      | Some r' -> Hashtbl.replace crash_round v (min r r')
+      | None -> Hashtbl.add crash_round v r)
+    sp.crashes;
+  {
+    sp;
+    rng = Rng.create sp.seed;
+    crash_round;
+    n_dropped = 0;
+    n_duplicated = 0;
+    n_delayed = 0;
+  }
+
+let spec_of t = t.sp
+
+type fate = Deliver | Drop | Duplicate of int | Delay of int
+
+let in_burst t ~round ~src ~dst =
+  List.exists
+    (fun b ->
+      round >= b.from_round && round <= b.until_round
+      &&
+      match b.on_edges with
+      | None -> true
+      | Some es ->
+          List.exists (fun (u, v) -> (u = src && v = dst) || (u = dst && v = src)) es)
+    t.sp.bursts
+
+let fate t ~round ~src ~dst =
+  if in_burst t ~round ~src ~dst then begin
+    t.n_dropped <- t.n_dropped + 1;
+    Drop
+  end
+  else begin
+    let total = t.sp.drop +. t.sp.duplicate +. t.sp.delay in
+    if total <= 0.0 then Deliver
+    else
+      let u = Rng.float t.rng 1.0 in
+      if u < t.sp.drop then begin
+        t.n_dropped <- t.n_dropped + 1;
+        Drop
+      end
+      else if u < t.sp.drop +. t.sp.duplicate then begin
+        t.n_duplicated <- t.n_duplicated + 1;
+        let d = if t.sp.delay_window > 0 then Rng.int t.rng (t.sp.delay_window + 1) else 0 in
+        Duplicate d
+      end
+      else if u < total && t.sp.delay_window > 0 then begin
+        t.n_delayed <- t.n_delayed + 1;
+        Delay (1 + Rng.int t.rng t.sp.delay_window)
+      end
+      else Deliver
+  end
+
+let is_crashed t ~round v =
+  match Hashtbl.find_opt t.crash_round v with
+  | Some r -> round >= r
+  | None -> false
+
+let crashed_nodes t ~upto_round =
+  List.sort compare
+    (Hashtbl.fold
+       (fun v r acc -> if r <= upto_round then v :: acc else acc)
+       t.crash_round [])
+
+let count_drop t = t.n_dropped <- t.n_dropped + 1
+let dropped t = t.n_dropped
+let duplicated t = t.n_duplicated
+let delayed t = t.n_delayed
+
+let pp fmt t =
+  Format.fprintf fmt
+    "adversary seed=%d drop=%.3f dup=%.3f delay=%.3f window=%d bursts=%d \
+     crashes=%d | dropped=%d duplicated=%d delayed=%d"
+    t.sp.seed t.sp.drop t.sp.duplicate t.sp.delay t.sp.delay_window
+    (List.length t.sp.bursts)
+    (Hashtbl.length t.crash_round)
+    t.n_dropped t.n_duplicated t.n_delayed

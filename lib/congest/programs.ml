@@ -6,7 +6,7 @@ open Dsgraph
 
 type leader_state = { best : int; dirty : bool }
 
-let leader_election g =
+let leader_election ?adversary g =
   let n = Graph.n g in
   let id_bits = Bits.id_bits ~n in
   let program =
@@ -27,7 +27,7 @@ let leader_election g =
           else ({ best; dirty = false }, [], true));
     }
   in
-  let states, stats = Sim.run ~bits:(fun _ -> id_bits) g program in
+  let states, stats = Sim.run ?adversary ~bits:(fun _ -> id_bits) g program in
   (Array.map (fun s -> s.best) states, stats)
 
 (* ------------------------------------------------------------------ *)
@@ -36,7 +36,7 @@ let leader_election g =
 
 type bfs_state = { dist : int; parent : int; announced : bool }
 
-let bfs g ~source =
+let bfs ?adversary g ~source =
   let n = Graph.n g in
   let msg_bits = Bits.int_bits (max 1 n) in
   let program =
@@ -72,7 +72,7 @@ let bfs g ~source =
           else (state, [], true));
     }
   in
-  let states, stats = Sim.run ~bits:(fun _ -> msg_bits) g program in
+  let states, stats = Sim.run ?adversary ~bits:(fun _ -> msg_bits) g program in
   ((Array.map (fun s -> s.dist) states, Array.map (fun s -> s.parent) states), stats)
 
 (* ------------------------------------------------------------------ *)
@@ -93,7 +93,7 @@ type count_state = {
    in rounds >= 2 and arrive in rounds >= 3. Hence after processing the
    round-2 inbox, [pending] equals the true child count, and from round 2 on
    [pending = 0] means the whole subtree has reported. *)
-let subtree_counts g ~parent =
+let subtree_counts ?adversary g ~parent =
   let n = Graph.n g in
   let msg_bits = Bits.int_bits (max 1 n) + 1 in
   let program =
@@ -131,7 +131,7 @@ let subtree_counts g ~parent =
     }
   in
   let states, stats =
-    Sim.run
+    Sim.run ?adversary
       ~bits:(fun m -> match m with Child -> 1 | Count _ -> msg_bits)
       g program
   in

@@ -3,17 +3,29 @@
     take [r + O(1)] rounds, a convergecast over a depth-[d] tree takes
     [d + O(1)] rounds, and all messages stay within [O(log n)] bits. *)
 
-val leader_election : Dsgraph.Graph.t -> int array * Sim.stats
+val leader_election :
+  ?adversary:Fault.t -> Dsgraph.Graph.t -> int array * Sim.stats
 (** Min-identifier flooding. Returns the leader elected at each node (all
     equal to the component's minimum id) and run statistics; terminates in
-    [O(diameter)] rounds on connected graphs. *)
+    [O(diameter)] rounds on connected graphs. Under a lossy [adversary]
+    nodes may quiesce before the minimum reaches them (dropped updates are
+    never resent), electing inconsistent leaders — wrap with {!Reliable}
+    to recover exactness. *)
 
-val bfs : Dsgraph.Graph.t -> source:int -> (int array * int array) * Sim.stats
+val bfs :
+  ?adversary:Fault.t ->
+  Dsgraph.Graph.t ->
+  source:int ->
+  (int array * int array) * Sim.stats
 (** Distributed BFS from [source]: per-node [(dist, parent)] with [-1] for
-    unreached, [parent.(source) = source]. *)
+    unreached, [parent.(source) = source]. Under an [adversary], distances
+    are only upper bounds — wrap with {!Reliable} to recover exactness. *)
 
 val subtree_counts :
-  Dsgraph.Graph.t -> parent:int array -> int array * Sim.stats
+  ?adversary:Fault.t ->
+  Dsgraph.Graph.t ->
+  parent:int array ->
+  int array * Sim.stats
 (** Convergecast over a rooted spanning forest given by [parent] (root has
     [parent.(v) = v]; [-1] = not in any tree): each node ends with the size
     of its subtree. *)

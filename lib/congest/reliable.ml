@@ -1,0 +1,313 @@
+open Dsgraph
+
+type config = {
+  inner_rounds : int;
+  window : int;
+  rto : int;
+  heartbeat_every : int;
+  liveness_timeout : int;
+}
+
+let config ?(window = 2) ?(rto = 2) ?(heartbeat_every = 8)
+    ?(liveness_timeout = 64) ~inner_rounds () =
+  if inner_rounds < 1 then invalid_arg "Reliable.config: inner_rounds < 1";
+  if window < 1 then invalid_arg "Reliable.config: window < 1";
+  if rto < 1 then invalid_arg "Reliable.config: rto < 1";
+  if heartbeat_every < 1 then invalid_arg "Reliable.config: heartbeat_every < 1";
+  if liveness_timeout <= rto + heartbeat_every then
+    invalid_arg "Reliable.config: liveness_timeout too tight";
+  { inner_rounds; window; rto; heartbeat_every; liveness_timeout }
+
+let header_bits ~inner_rounds = (2 * Bits.int_bits (max 1 inner_rounds)) + 2
+
+type 'msg frame = { ack : int; token : (int * 'msg option) option }
+
+let frame_bits ~bits ~inner_rounds f =
+  header_bits ~inner_rounds
+  + match f.token with Some (_, Some m) -> bits m | _ -> 0
+
+(* One queued token: produced at inner round [seq], last transmitted at
+   outer round [last_tx] (-1 = never sent). *)
+type 'msg pkt = { seq : int; payload : 'msg option; mutable last_tx : int }
+
+type 'msg link = {
+  mutable alive : bool;
+  mutable outq : 'msg pkt list; (* seq order, length <= window *)
+  mutable acked : int; (* all seq <= acked are acknowledged *)
+  mutable recv_next : int; (* next in-order seq expected *)
+  oob : (int, 'msg option) Hashtbl.t; (* out-of-order buffer *)
+  delivered : (int, 'msg option) Hashtbl.t; (* in-order, not yet consumed *)
+  mutable last_heard : int;
+  mutable last_sent : int;
+  mutable ack_dirty : bool;
+}
+
+type ('st, 'msg) node = {
+  cfg : config;
+  mutable inner_state : 'st;
+  mutable k : int; (* inner rounds executed *)
+  links : (int, 'msg link) Hashtbl.t;
+  sorted_nbrs : int array; (* ascending, to reproduce Sim inbox order *)
+  mutable outer : int;
+  mutable retransmissions : int;
+  mutable heartbeats : int;
+  mutable detected : int list;
+}
+
+let inner_state st = st.inner_state
+let finished st = st.k >= st.cfg.inner_rounds
+let dead_neighbors st = List.sort compare st.detected
+
+type transport_stats = {
+  retransmissions : int;
+  heartbeats : int;
+  detected_dead : int list;
+}
+
+let transport_stats (nodes : ('st, 'msg) node array) =
+  let retransmissions =
+    Array.fold_left (fun a (st : ('st, 'msg) node) -> a + st.retransmissions) 0
+      nodes
+  in
+  let heartbeats =
+    Array.fold_left (fun a (st : ('st, 'msg) node) -> a + st.heartbeats) 0 nodes
+  in
+  let detected_dead =
+    Array.fold_left (fun a st -> List.rev_append st.detected a) [] nodes
+    |> List.sort_uniq compare
+  in
+  { retransmissions; heartbeats; detected_dead }
+
+let link_of st u =
+  match Hashtbl.find_opt st.links u with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Reliable: no link to %d" u)
+
+let receive st u (f : 'msg frame) =
+  let l = link_of st u in
+  if l.alive then begin
+    l.last_heard <- st.outer;
+    if f.ack > l.acked then begin
+      l.acked <- f.ack;
+      l.outq <- List.filter (fun p -> p.seq > f.ack) l.outq
+    end;
+    match f.token with
+    | None -> ()
+    | Some (seq, payload) ->
+        if seq < l.recv_next then
+          (* duplicate or retransmission of a delivered token: our ack was
+             lost, so re-ack instead of re-delivering *)
+          l.ack_dirty <- true
+        else if seq = l.recv_next then begin
+          Hashtbl.replace l.delivered seq payload;
+          l.recv_next <- seq + 1;
+          let rec drain () =
+            match Hashtbl.find_opt l.oob l.recv_next with
+            | Some p ->
+                Hashtbl.remove l.oob l.recv_next;
+                Hashtbl.replace l.delivered l.recv_next p;
+                l.recv_next <- l.recv_next + 1;
+                drain ()
+            | None -> ()
+          in
+          drain ();
+          l.ack_dirty <- true
+        end
+        else begin
+          Hashtbl.replace l.oob seq payload;
+          l.ack_dirty <- true
+        end
+  end
+
+(* A link is awaited when progress depends on hearing from it: tokens of
+   ours unacknowledged, or we are blocked on its next token. *)
+let awaited st l = l.outq <> [] || ((not (finished st)) && l.recv_next <= st.k)
+
+let detect_dead st =
+  Array.iter
+    (fun u ->
+      let l = link_of st u in
+      if
+        l.alive && awaited st l
+        && st.outer - l.last_heard > st.cfg.liveness_timeout
+      then begin
+        l.alive <- false;
+        l.outq <- [];
+        Hashtbl.reset l.oob;
+        st.detected <- u :: st.detected
+      end)
+    st.sorted_nbrs
+
+let can_execute st =
+  st.k < st.cfg.inner_rounds
+  && Array.for_all
+       (fun u ->
+         let l = link_of st u in
+         (not l.alive)
+         || (l.recv_next >= st.k + 1 && List.length l.outq < st.cfg.window))
+       st.sorted_nbrs
+
+let execute_inner (inner : ('st, 'msg) Sim.program) ~node st =
+  let r = st.k + 1 in
+  let inbox =
+    Array.fold_left
+      (fun acc u ->
+        let l = link_of st u in
+        match Hashtbl.find_opt l.delivered (r - 1) with
+        | Some tok ->
+            Hashtbl.remove l.delivered (r - 1);
+            if l.alive then
+              match tok with Some m -> (u, m) :: acc | None -> acc
+            else acc
+        | None -> acc)
+      [] st.sorted_nbrs
+    |> List.rev
+  in
+  let state', outgoing, _halt =
+    inner.Sim.round ~node ~state:st.inner_state ~inbox
+  in
+  st.inner_state <- state';
+  let sent = Hashtbl.create 4 in
+  List.iter
+    (fun (dst, m) ->
+      if not (Hashtbl.mem st.links dst) then
+        invalid_arg
+          (Printf.sprintf "Reliable: node %d sent to non-neighbor %d" node dst);
+      if Hashtbl.mem sent dst then
+        invalid_arg
+          (Printf.sprintf "Reliable: node %d sent twice to %d in one round"
+             node dst);
+      Hashtbl.add sent dst m)
+    outgoing;
+  Array.iter
+    (fun u ->
+      let l = link_of st u in
+      if l.alive then
+        l.outq <-
+          l.outq @ [ { seq = r; payload = Hashtbl.find_opt sent u; last_tx = -1 } ])
+    st.sorted_nbrs;
+  st.k <- r
+
+let frame_for st l =
+  let token =
+    match l.outq with
+    | p :: _ when p.last_tx >= 0 && st.outer - p.last_tx >= st.cfg.rto ->
+        p.last_tx <- st.outer;
+        st.retransmissions <- st.retransmissions + 1;
+        Some (p.seq, p.payload)
+    | _ -> (
+        match List.find_opt (fun p -> p.last_tx < 0) l.outq with
+        | Some p ->
+            p.last_tx <- st.outer;
+            Some (p.seq, p.payload)
+        | None -> None)
+  in
+  match token with
+  | Some _ -> Some { ack = l.recv_next - 1; token }
+  | None ->
+      if l.ack_dirty then Some { ack = l.recv_next - 1; token = None }
+      else if
+        (not (finished st)) && st.outer - l.last_sent >= st.cfg.heartbeat_every
+      then begin
+        st.heartbeats <- st.heartbeats + 1;
+        Some { ack = l.recv_next - 1; token = None }
+      end
+      else None
+
+let wrap cfg (inner : ('st, 'msg) Sim.program) :
+    (('st, 'msg) node, 'msg frame) Sim.program =
+  let init ~node ~neighbors =
+    let links = Hashtbl.create (Array.length neighbors) in
+    Array.iter
+      (fun u ->
+        Hashtbl.replace links u
+          {
+            alive = true;
+            outq = [];
+            acked = 0;
+            recv_next = 1;
+            oob = Hashtbl.create 4;
+            delivered = Hashtbl.create 4;
+            last_heard = 0;
+            last_sent = 0;
+            ack_dirty = false;
+          })
+      neighbors;
+    let sorted_nbrs = Array.copy neighbors in
+    Array.sort compare sorted_nbrs;
+    {
+      cfg;
+      inner_state = inner.Sim.init ~node ~neighbors;
+      k = 0;
+      links;
+      sorted_nbrs;
+      outer = 0;
+      retransmissions = 0;
+      heartbeats = 0;
+      detected = [];
+    }
+  in
+  let round ~node ~state:st ~inbox =
+    st.outer <- st.outer + 1;
+    List.iter (fun (u, f) -> receive st u f) inbox;
+    detect_dead st;
+    while can_execute st do
+      execute_inner inner ~node st
+    done;
+    let out =
+      Array.fold_left
+        (fun acc u ->
+          let l = link_of st u in
+          if not l.alive then acc
+          else
+            match frame_for st l with
+            | Some f ->
+                l.last_sent <- st.outer;
+                l.ack_dirty <- false;
+                (u, f) :: acc
+            | None -> acc)
+        [] st.sorted_nbrs
+      |> List.rev
+    in
+    let halt =
+      finished st
+      && Array.for_all
+           (fun u ->
+             let l = link_of st u in
+             (not l.alive) || l.outq = [])
+           st.sorted_nbrs
+    in
+    (st, out, halt)
+  in
+  { Sim.init; round }
+
+type 'st result = {
+  states : 'st array;
+  finished : bool array;
+  dead_view : int list array;
+  sim_stats : Sim.stats;
+  transport : transport_stats;
+}
+
+let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) cfg ~bits g
+    inner =
+  let n = Graph.n g in
+  let inner_bw = Option.value bandwidth ~default:(Bits.bandwidth ~n) in
+  let hdr = header_bits ~inner_rounds:cfg.inner_rounds in
+  let max_rounds =
+    Option.value max_rounds
+      ~default:((6 * cfg.inner_rounds) + (8 * cfg.liveness_timeout) + 64)
+  in
+  let prog = wrap cfg inner in
+  let nodes, sim_stats =
+    Sim.run ~max_rounds ~bandwidth:(inner_bw + hdr) ?adversary ~on_incomplete
+      ~bits:(frame_bits ~bits ~inner_rounds:cfg.inner_rounds)
+      g prog
+  in
+  {
+    states = Array.map inner_state nodes;
+    finished = Array.map finished nodes;
+    dead_view = Array.map dead_neighbors nodes;
+    sim_stats;
+    transport = transport_stats nodes;
+  }

@@ -1,6 +1,15 @@
 open Dsgraph
 
-exception Bandwidth_exceeded of { node : int; bits : int; bandwidth : int }
+exception
+  Bandwidth_exceeded of {
+    node : int;
+    dst : int;
+    round : int;
+    bits : int;
+    bandwidth : int;
+  }
+
+exception Incomplete of { max_rounds : int; running : int }
 
 type ('st, 'msg) program = {
   init : node:int -> neighbors:int array -> 'st;
@@ -11,68 +20,159 @@ type ('st, 'msg) program = {
     'st * (int * 'msg) list * bool;
 }
 
+type fault_stats = {
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crashed : int list;
+}
+
+let no_faults = { dropped = 0; duplicated = 0; delayed = 0; crashed = [] }
+
 type stats = {
   rounds_used : int;
   total_messages : int;
   max_bits_seen : int;
   all_halted : bool;
+  faults : fault_stats;
 }
 
-let run ?max_rounds ?bandwidth ~bits g program =
+let log_src = Logs.Src.create "congest.sim" ~doc:"CONGEST simulator"
+
+module Log = (val Logs.src_log log_src)
+
+let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) ~bits g
+    program =
   let n = Graph.n g in
   let max_rounds = Option.value max_rounds ~default:((4 * n) + 16) in
   let bandwidth = Option.value bandwidth ~default:(Bits.bandwidth ~n) in
   let states = Array.init n (fun v -> program.init ~node:v ~neighbors:(Graph.neighbors g v)) in
   let inboxes = Array.make n [] in
-  let next_inboxes = Array.make n [] in
   let halted = Array.make n false in
   let total_messages = ref 0 in
   let max_bits_seen = ref 0 in
   let rounds_used = ref 0 in
-  let messages_in_flight = ref 0 in
+  (* arrivals.(future round) -> (dst, src, msg) in reverse send order; with
+     no adversary everything lands exactly one round after it is sent, so
+     the table holds a single entry *)
+  let arrivals : (int, (int * int * 'msg) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let pending = ref 0 in
+  let schedule ~at dst src msg =
+    incr pending;
+    let cell =
+      match Hashtbl.find_opt arrivals at with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add arrivals at c;
+          c
+    in
+    cell := (dst, src, msg) :: !cell
+  in
+  let crashed_at round v =
+    match adversary with
+    | Some adv -> Fault.is_crashed adv ~round v
+    | None -> false
+  in
   let continue = ref true in
   while !continue && !rounds_used < max_rounds do
     incr rounds_used;
-    let sent_this_round = ref 0 in
+    let round = !rounds_used in
+    (* move deliveries due this round into the inboxes, in send order *)
+    (match Hashtbl.find_opt arrivals round with
+    | None -> ()
+    | Some cell ->
+        List.iter
+          (fun (dst, src, msg) ->
+            decr pending;
+            if crashed_at round dst then
+              match adversary with
+              | Some adv -> Fault.count_drop adv
+              | None -> ()
+            else inboxes.(dst) <- (src, msg) :: inboxes.(dst))
+          !cell;
+        (* cell is in reverse send order and the prepend above reverses
+           again per destination: inboxes end up in send order *)
+        Hashtbl.remove arrivals round);
     for v = 0 to n - 1 do
-      let state, outgoing, halt =
-        program.round ~node:v ~state:states.(v) ~inbox:inboxes.(v)
-      in
-      states.(v) <- state;
-      halted.(v) <- halt;
-      let seen = Hashtbl.create 4 in
-      List.iter
-        (fun (dst, msg) ->
-          if not (Graph.is_edge g v dst) then
-            invalid_arg
-              (Printf.sprintf "Sim.run: node %d sent to non-neighbor %d" v dst);
-          if Hashtbl.mem seen dst then
-            invalid_arg
-              (Printf.sprintf "Sim.run: node %d sent twice to %d in one round" v
-                 dst);
-          Hashtbl.add seen dst ();
-          let b = bits msg in
-          if b > bandwidth then
-            raise (Bandwidth_exceeded { node = v; bits = b; bandwidth });
-          if b > !max_bits_seen then max_bits_seen := b;
-          incr total_messages;
-          incr sent_this_round;
-          next_inboxes.(dst) <- (v, msg) :: next_inboxes.(dst))
-        outgoing
+      if crashed_at round v then begin
+        halted.(v) <- true;
+        inboxes.(v) <- []
+      end
+      else begin
+        let state, outgoing, halt =
+          program.round ~node:v ~state:states.(v) ~inbox:inboxes.(v)
+        in
+        inboxes.(v) <- [];
+        states.(v) <- state;
+        halted.(v) <- halt;
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun (dst, msg) ->
+            if not (Graph.is_edge g v dst) then
+              invalid_arg
+                (Printf.sprintf "Sim.run: node %d sent to non-neighbor %d" v dst);
+            if Hashtbl.mem seen dst then
+              invalid_arg
+                (Printf.sprintf "Sim.run: node %d sent twice to %d in one round"
+                   v dst);
+            Hashtbl.add seen dst ();
+            let b = bits msg in
+            if b > bandwidth then
+              raise (Bandwidth_exceeded { node = v; dst; round; bits = b; bandwidth });
+            if b > !max_bits_seen then max_bits_seen := b;
+            incr total_messages;
+            match adversary with
+            | None -> schedule ~at:(round + 1) dst v msg
+            | Some adv ->
+                if Fault.is_crashed adv ~round dst then Fault.count_drop adv
+                else (
+                  match Fault.fate adv ~round ~src:v ~dst with
+                  | Fault.Deliver -> schedule ~at:(round + 1) dst v msg
+                  | Fault.Drop -> ()
+                  | Fault.Duplicate d ->
+                      schedule ~at:(round + 1) dst v msg;
+                      schedule ~at:(round + 1 + d) dst v msg
+                  | Fault.Delay d -> schedule ~at:(round + 1 + d) dst v msg))
+          outgoing
+      end
     done;
-    for v = 0 to n - 1 do
-      inboxes.(v) <- List.rev next_inboxes.(v);
-      next_inboxes.(v) <- []
-    done;
-    messages_in_flight := !sent_this_round;
     let all_halted = Array.for_all (fun h -> h) halted in
-    if all_halted && !messages_in_flight = 0 then continue := false
+    if all_halted && !pending = 0 then continue := false
   done;
   let all_halted = Array.for_all (fun h -> h) halted in
+  if not all_halted || !pending > 0 then begin
+    let running =
+      Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 halted
+    in
+    match on_incomplete with
+    | `Ignore -> ()
+    | `Warn ->
+        Log.warn (fun m ->
+            m
+              "Sim.run: stopped at max_rounds=%d with %d node(s) still \
+               running and %d message(s) in flight"
+              max_rounds running !pending)
+    | `Raise -> raise (Incomplete { max_rounds; running })
+  end;
+  let faults =
+    match adversary with
+    | None -> no_faults
+    | Some adv ->
+        {
+          dropped = Fault.dropped adv;
+          duplicated = Fault.duplicated adv;
+          delayed = Fault.delayed adv;
+          crashed = Fault.crashed_nodes adv ~upto_round:!rounds_used;
+        }
+  in
   ( states,
     {
       rounds_used = !rounds_used;
       total_messages = !total_messages;
       max_bits_seen = !max_bits_seen;
       all_halted;
+      faults;
     } )

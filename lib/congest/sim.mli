@@ -1,13 +1,31 @@
 (** Faithful synchronous CONGEST simulator.
 
     Nodes run the same program; per round each node reads its inbox (one
-    message per neighbor at most), updates its state, and emits at most one
-    message per incident edge. Message sizes are measured by a user-supplied
-    [bits] function and checked against the bandwidth; exceeding it raises
-    {!Bandwidth_exceeded} — this is how the ABCP96 baseline's unbounded
-    messages are surfaced. *)
+    message per neighbor at most on a fault-free fabric; an adversary may
+    duplicate or delay deliveries), updates its state, and emits at most
+    one message per incident edge. Message sizes are measured by a
+    user-supplied [bits] function and checked against the bandwidth;
+    exceeding it raises {!Bandwidth_exceeded} — this is how the ABCP96
+    baseline's unbounded messages are surfaced.
 
-exception Bandwidth_exceeded of { node : int; bits : int; bandwidth : int }
+    The fabric is perfectly reliable unless an [adversary] ({!Fault.t}) is
+    interposed, in which case messages may be dropped, duplicated, or
+    delayed, and nodes may crash-stop; every injected fault is counted in
+    {!stats.faults}. Programs that must survive such an adversary should
+    be wrapped with {!Reliable.run}. *)
+
+exception
+  Bandwidth_exceeded of {
+    node : int;
+    dst : int;  (** destination neighbor of the offending message *)
+    round : int;  (** 1-based round in which it was sent *)
+    bits : int;
+    bandwidth : int;
+  }
+
+exception Incomplete of { max_rounds : int; running : int }
+(** Raised by [~on_incomplete:`Raise] when [max_rounds] elapse with
+    [running] nodes still not halted (or messages still in flight). *)
 
 type ('st, 'msg) program = {
   init : node:int -> neighbors:int array -> 'st;
@@ -23,20 +41,43 @@ type ('st, 'msg) program = {
           Sending twice to the same neighbor in one round is rejected. *)
 }
 
+type fault_stats = {
+  dropped : int;  (** messages lost (iid, burst, or sent to a crashed node) *)
+  duplicated : int;  (** extra copies injected *)
+  delayed : int;  (** deliveries postponed past the next round *)
+  crashed : int list;  (** nodes crash-stopped during the run, sorted *)
+}
+
+val no_faults : fault_stats
+
 type stats = {
   rounds_used : int;
-  total_messages : int;
+  total_messages : int;  (** program-sent messages (injected copies excluded) *)
   max_bits_seen : int;
   all_halted : bool;  (** false when stopped by [max_rounds] *)
+  faults : fault_stats;  (** {!no_faults} when no adversary was given *)
 }
+
+val log_src : Logs.src
+(** Logs source ["congest.sim"] used by [~on_incomplete:`Warn]. *)
 
 val run :
   ?max_rounds:int ->
   ?bandwidth:int ->
+  ?adversary:Fault.t ->
+  ?on_incomplete:[ `Ignore | `Warn | `Raise ] ->
   bits:('msg -> int) ->
   Dsgraph.Graph.t ->
   ('st, 'msg) program ->
   'st array * stats
 (** Runs until every node votes to halt {e and} no message is in flight, or
     until [max_rounds] (default [4 * n + 16]). [bandwidth] defaults to
-    {!Bits.bandwidth}. Returns final states. *)
+    {!Bits.bandwidth}. Returns final states (a crashed node's state is
+    frozen at its crash round).
+
+    When the run is cut off by [max_rounds] with nodes still running or
+    messages still in flight, [on_incomplete] decides what happens:
+    [`Warn] (default) logs a warning on {!log_src} — easy-to-miss silent
+    truncation was a real bug source — [`Raise] raises {!Incomplete}, and
+    [`Ignore] stays silent for callers that use the cutoff deliberately
+    (Las Vegas retries, adversarial-fault sweeps). *)

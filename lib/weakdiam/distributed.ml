@@ -44,7 +44,20 @@ type nstate = {
 
 let is_red bit lbl = (lbl lsr bit) land 1 = 1
 
-let carve ?(preset = Weak_carving.default_preset) ?domain g ~epsilon =
+(* Everything needed to run the node program, shared by the fault-free
+   and the reliable-transport entry points. *)
+type built = {
+  b_engine : Weak_carving.result;
+  b_step_budget : int;
+  b_total_steps : int;
+  b_domain : Mask.t;
+  b_program : (nstate, msg) Congest.Sim.program;
+  b_bits : msg -> int;
+  b_bandwidth : int;
+  b_max_rounds : int;
+}
+
+let build ?(preset = Weak_carving.default_preset) ?domain g ~epsilon =
   let n = Graph.n g in
   let domain = match domain with Some d -> d | None -> Mask.full n in
   let engine = Weak_carving.carve ~preset ~domain g ~epsilon in
@@ -315,11 +328,84 @@ let carve ?(preset = Weak_carving.default_preset) ?domain g ~epsilon =
   in
   let max_rounds = ((total_steps + 2) * step_budget) + (4 * step_budget) in
   let bandwidth = max (Congest.Bits.bandwidth ~n) (4 + (2 * id_bits)) in
-  let states, sim_stats = Congest.Sim.run ~max_rounds ~bandwidth ~bits g program in
+  {
+    b_engine = engine;
+    b_step_budget = step_budget;
+    b_total_steps = total_steps;
+    b_domain = domain;
+    b_program = program;
+    b_bits = bits;
+    b_bandwidth = bandwidth;
+    b_max_rounds = max_rounds;
+  }
+
+let carve ?preset ?domain g ~epsilon =
+  let b = build ?preset ?domain g ~epsilon in
+  let states, sim_stats =
+    Congest.Sim.run ~max_rounds:b.b_max_rounds ~bandwidth:b.b_bandwidth
+      ~bits:b.b_bits g b.b_program
+  in
   let cluster_of = Array.map (fun st -> st.label) states in
   let clustering = Cluster.Clustering.make g ~cluster_of in
-  let carving = Cluster.Carving.make clustering ~domain in
-  { carving; sim_stats; step_budget; total_steps; engine }
+  let carving = Cluster.Carving.make clustering ~domain:b.b_domain in
+  {
+    carving;
+    sim_stats;
+    step_budget = b.b_step_budget;
+    total_steps = b.b_total_steps;
+    engine = b.b_engine;
+  }
+
+type reliable_result = {
+  cluster_of : int array;
+  crashed : int list;
+  finished : bool array;
+  dead_view : int list array;
+  r_sim_stats : Congest.Sim.stats;
+  transport : Congest.Reliable.transport_stats;
+  inner_rounds : int;
+  oracle_rounds : int;
+  r_step_budget : int;
+  r_total_steps : int;
+  r_engine : Weak_carving.result;
+}
+
+let carve_reliable ?adversary ?(liveness_timeout = 64) ?preset ?domain g
+    ~epsilon =
+  let b = build ?preset ?domain g ~epsilon in
+  (* Sizing oracle: the program is deterministic, so a fault-free run
+     tells us exactly how many inner rounds the computation needs; the
+     wrapper then executes that many plus slack. Running the program value
+     twice is safe — [init] builds fresh state each run. *)
+  let _, oracle_stats =
+    Congest.Sim.run ~max_rounds:b.b_max_rounds ~bandwidth:b.b_bandwidth
+      ~bits:b.b_bits g b.b_program
+  in
+  let oracle_rounds = oracle_stats.Congest.Sim.rounds_used in
+  let inner_rounds = oracle_rounds + b.b_step_budget + 8 in
+  let cfg = Congest.Reliable.config ~inner_rounds ~liveness_timeout () in
+  let r =
+    Congest.Reliable.run ?adversary ~on_incomplete:`Ignore
+      ~bandwidth:b.b_bandwidth cfg ~bits:b.b_bits g b.b_program
+  in
+  let cluster_of =
+    Array.map (fun st -> st.label) r.Congest.Reliable.states
+  in
+  let crashed = r.Congest.Reliable.sim_stats.Congest.Sim.faults.crashed in
+  List.iter (fun v -> cluster_of.(v) <- -2) crashed;
+  {
+    cluster_of;
+    crashed;
+    finished = r.Congest.Reliable.finished;
+    dead_view = r.Congest.Reliable.dead_view;
+    r_sim_stats = r.Congest.Reliable.sim_stats;
+    transport = r.Congest.Reliable.transport;
+    inner_rounds;
+    oracle_rounds;
+    r_step_budget = b.b_step_budget;
+    r_total_steps = b.b_total_steps;
+    r_engine = b.b_engine;
+  }
 
 let matches_engine r =
   let sim = r.carving.Cluster.Carving.clustering in

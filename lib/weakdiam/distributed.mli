@@ -43,3 +43,36 @@ val carve :
 val matches_engine : result -> bool
 (** True iff the simulated clustering equals the engine's exactly
     (same cluster membership per node, same dead set). *)
+
+type reliable_result = {
+  cluster_of : int array;
+      (** simulated labels ([>= 0] cluster, [-1] outside domain, [-2]
+          dead); crashed nodes are forced to [-2] *)
+  crashed : int list;  (** ground truth from the fault schedule *)
+  finished : bool array;  (** per node: executed all inner rounds *)
+  dead_view : int list array;  (** per node: neighbors it declared dead *)
+  r_sim_stats : Congest.Sim.stats;
+  transport : Congest.Reliable.transport_stats;
+  inner_rounds : int;
+  oracle_rounds : int;  (** rounds the fault-free sizing run used *)
+  r_step_budget : int;
+  r_total_steps : int;
+  r_engine : Weak_carving.result;
+}
+
+val carve_reliable :
+  ?adversary:Congest.Fault.t ->
+  ?liveness_timeout:int ->
+  ?preset:Weak_carving.preset ->
+  ?domain:Dsgraph.Mask.t ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  reliable_result
+(** The same node program wrapped in {!Congest.Reliable} and run against
+    an optional fault adversary. The program is deterministic, so a
+    fault-free run first sizes [inner_rounds = rounds_used + step_budget
+    + 8]; with no adversary the resulting labels are {e identical} to
+    {!carve}'s (zero-fault transparency). Under crashes the surviving
+    labels may violate non-adjacency (a broken convergecast can
+    mis-decide); callers wanting a guaranteed-valid carving re-run on the
+    survivor-induced subgraph — see [Workload.Faults]. *)

@@ -1,0 +1,254 @@
+open Dsgraph
+module Fault = Congest.Fault
+module Reliable = Congest.Reliable
+
+type algorithm = Ls | Weakdiam
+
+type scenario = {
+  algorithm : algorithm;
+  family : string;
+  n : int;
+  epsilon : float;
+  drop : float;
+  crashes : int;
+  seed : int;
+}
+
+type row = {
+  s : scenario;
+  valid : bool;
+  valid_degraded : bool;
+  dead_fraction : float;
+  crashed_nodes : int list;
+  rounds : int;
+  base_rounds : int;
+  round_overhead : float;
+  messages : int;
+  base_messages : int;
+  max_bits : int;
+  bandwidth : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  retransmissions : int;
+  detected_dead : int;
+  recovery_rounds : int;
+}
+
+let algo_label = function Ls -> "ls_distributed" | Weakdiam -> "weakdiam_sim"
+
+(* distinct crash victims with staggered crash rounds, all seeded *)
+let crash_schedule rng ~n ~crashes =
+  let crashes = min crashes (n / 2) in
+  let chosen = Hashtbl.create (max crashes 1) in
+  let rec pick i acc =
+    if i >= crashes then List.rev acc
+    else
+      let v = Rng.int rng n in
+      if Hashtbl.mem chosen v then pick i acc
+      else begin
+        Hashtbl.add chosen v ();
+        pick (i + 1) ((v, 3 + (4 * i)) :: acc)
+      end
+  in
+  pick 0 []
+
+(* Validity of [labels] restricted to [survivors]: non-adjacency and
+   domain confinement via the Carving checker (epsilon deliberately not
+   enforced — the dead fraction is reported in the row instead). *)
+let check_on_survivors g survivors labels =
+  let sub, back = Subgraph.induce g survivors in
+  let nsub = Graph.n sub in
+  let sub_labels =
+    Array.init nsub (fun i ->
+        let l = labels.(back.(i)) in
+        if l < 0 then -1 else l)
+  in
+  let clustering = Cluster.Clustering.make sub ~cluster_of:sub_labels in
+  let carving = Cluster.Carving.make clustering ~domain:(Mask.full nsub) in
+  let valid = Result.is_ok (Cluster.Carving.check_weak carving) in
+  (valid, Cluster.Carving.dead_fraction carving)
+
+let survivors_of n crashed =
+  let dead = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace dead v ()) crashed;
+  List.filter (fun v -> not (Hashtbl.mem dead v)) (List.init n (fun i -> i))
+
+let adversary_for sc ~crashes =
+  Fault.create (Fault.spec ~seed:sc.seed ~drop:sc.drop ~crashes ())
+
+(* drop-only adversary for the recovery re-run on the survivor subgraph *)
+let recovery_adversary sc =
+  Fault.create (Fault.spec ~seed:(sc.seed + 1) ~drop:sc.drop ())
+
+let run sc =
+  let fam = Suite.find sc.family in
+  let g = fam.Suite.build ~seed:sc.seed ~n:sc.n in
+  let n = Graph.n g in
+  let crashes =
+    crash_schedule (Rng.create ((sc.seed * 7919) + 13)) ~n ~crashes:sc.crashes
+  in
+  match sc.algorithm with
+  | Ls ->
+      let _, base_stats =
+        Baseline.Ls_distributed.attempt (Rng.create sc.seed) g
+          ~epsilon:sc.epsilon
+      in
+      let adv = adversary_for sc ~crashes in
+      let r =
+        Baseline.Ls_distributed.attempt_reliable ~adversary:adv
+          (Rng.create sc.seed) g ~epsilon:sc.epsilon
+      in
+      let survivors = survivors_of n r.Baseline.Ls_distributed.crashed in
+      let valid_degraded, dead_degraded =
+        check_on_survivors g survivors r.Baseline.Ls_distributed.cluster_of
+      in
+      let valid, dead_fraction, recovery_rounds =
+        if valid_degraded then (true, dead_degraded, 0)
+        else begin
+          let sub, _back = Subgraph.induce g survivors in
+          let r2 =
+            Baseline.Ls_distributed.attempt_reliable
+              ~adversary:(recovery_adversary sc)
+              (Rng.create (sc.seed + 1))
+              sub ~epsilon:sc.epsilon
+          in
+          let v, d =
+            check_on_survivors sub
+              (List.init (Graph.n sub) (fun i -> i))
+              r2.Baseline.Ls_distributed.cluster_of
+          in
+          (v, d, r2.Baseline.Ls_distributed.sim_stats.Congest.Sim.rounds_used)
+        end
+      in
+      let stats = r.Baseline.Ls_distributed.sim_stats in
+      let bandwidth =
+        Congest.Bits.bandwidth ~n
+        + Reliable.header_bits
+            ~inner_rounds:r.Baseline.Ls_distributed.inner_rounds
+      in
+      {
+        s = sc;
+        valid;
+        valid_degraded;
+        dead_fraction;
+        crashed_nodes = r.Baseline.Ls_distributed.crashed;
+        rounds = stats.Congest.Sim.rounds_used;
+        base_rounds = base_stats.Congest.Sim.rounds_used;
+        round_overhead =
+          float_of_int stats.Congest.Sim.rounds_used
+          /. float_of_int (max 1 base_stats.Congest.Sim.rounds_used);
+        messages = stats.Congest.Sim.total_messages;
+        base_messages = base_stats.Congest.Sim.total_messages;
+        max_bits = stats.Congest.Sim.max_bits_seen;
+        bandwidth;
+        dropped = stats.Congest.Sim.faults.dropped;
+        duplicated = stats.Congest.Sim.faults.duplicated;
+        delayed = stats.Congest.Sim.faults.delayed;
+        retransmissions =
+          r.Baseline.Ls_distributed.transport.Reliable.retransmissions;
+        detected_dead =
+          List.length r.Baseline.Ls_distributed.transport.Reliable.detected_dead;
+        recovery_rounds;
+      }
+  | Weakdiam ->
+      let base = Weakdiam.Distributed.carve g ~epsilon:sc.epsilon in
+      let base_stats = base.Weakdiam.Distributed.sim_stats in
+      let adv = adversary_for sc ~crashes in
+      let r =
+        Weakdiam.Distributed.carve_reliable ~adversary:adv g
+          ~epsilon:sc.epsilon
+      in
+      let survivors = survivors_of n r.Weakdiam.Distributed.crashed in
+      let valid_degraded, dead_degraded =
+        check_on_survivors g survivors r.Weakdiam.Distributed.cluster_of
+      in
+      let valid, dead_fraction, recovery_rounds =
+        if valid_degraded then (true, dead_degraded, 0)
+        else begin
+          let sub, _back = Subgraph.induce g survivors in
+          let r2 =
+            Weakdiam.Distributed.carve_reliable
+              ~adversary:(recovery_adversary sc) sub ~epsilon:sc.epsilon
+          in
+          let v, d =
+            check_on_survivors sub
+              (List.init (Graph.n sub) (fun i -> i))
+              r2.Weakdiam.Distributed.cluster_of
+          in
+          (v, d, r2.Weakdiam.Distributed.r_sim_stats.Congest.Sim.rounds_used)
+        end
+      in
+      let stats = r.Weakdiam.Distributed.r_sim_stats in
+      let bandwidth =
+        max (Congest.Bits.bandwidth ~n) (4 + (2 * Congest.Bits.id_bits ~n))
+        + Reliable.header_bits ~inner_rounds:r.Weakdiam.Distributed.inner_rounds
+      in
+      {
+        s = sc;
+        valid;
+        valid_degraded;
+        dead_fraction;
+        crashed_nodes = r.Weakdiam.Distributed.crashed;
+        rounds = stats.Congest.Sim.rounds_used;
+        base_rounds = base_stats.Congest.Sim.rounds_used;
+        round_overhead =
+          float_of_int stats.Congest.Sim.rounds_used
+          /. float_of_int (max 1 base_stats.Congest.Sim.rounds_used);
+        messages = stats.Congest.Sim.total_messages;
+        base_messages = base_stats.Congest.Sim.total_messages;
+        max_bits = stats.Congest.Sim.max_bits_seen;
+        bandwidth;
+        dropped = stats.Congest.Sim.faults.dropped;
+        duplicated = stats.Congest.Sim.faults.duplicated;
+        delayed = stats.Congest.Sim.faults.delayed;
+        retransmissions =
+          r.Weakdiam.Distributed.transport.Reliable.retransmissions;
+        detected_dead =
+          List.length r.Weakdiam.Distributed.transport.Reliable.detected_dead;
+        recovery_rounds;
+      }
+
+let sweep ?(drops = [ 0.0; 0.01; 0.05; 0.1 ]) ?(crash_counts = [ 0; 2 ])
+    ?(seed = 1) algorithm ~family ~n ~epsilon =
+  List.concat_map
+    (fun drop ->
+      List.map
+        (fun crashes ->
+          run { algorithm; family; n; epsilon; drop; crashes; seed })
+        crash_counts)
+    drops
+
+let csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "algorithm,family,n,epsilon,drop,crashes,seed,valid,valid_degraded,dead_fraction,rounds,base_rounds,round_overhead,messages,base_messages,max_bits,bandwidth,dropped,duplicated,delayed,retransmissions,detected_dead,recovery_rounds\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s,%s,%d,%.3f,%.3f,%d,%d,%b,%b,%.4f,%d,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n"
+           (algo_label r.s.algorithm)
+           r.s.family r.s.n r.s.epsilon r.s.drop
+           (List.length r.crashed_nodes)
+           r.s.seed r.valid r.valid_degraded r.dead_fraction r.rounds
+           r.base_rounds r.round_overhead r.messages r.base_messages r.max_bits
+           r.bandwidth r.dropped r.duplicated r.delayed r.retransmissions
+           r.detected_dead r.recovery_rounds))
+    rows;
+  Buffer.contents buf
+
+let pp_row fmt r =
+  Format.fprintf fmt
+    "%-14s %-8s n=%-5d drop=%.2f crashes=%d %s%s rounds=%d (x%.2f) retx=%d \
+     dead=%.1f%%%s"
+    (algo_label r.s.algorithm)
+    r.s.family r.s.n r.s.drop
+    (List.length r.crashed_nodes)
+    (if r.valid then "ok " else "FAIL")
+    (if r.valid_degraded then "" else "(recovered)")
+    r.rounds r.round_overhead r.retransmissions
+    (100.0 *. r.dead_fraction)
+    (if r.recovery_rounds > 0 then
+       Printf.sprintf " recovery=%d" r.recovery_rounds
+     else "")

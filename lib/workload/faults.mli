@@ -1,0 +1,73 @@
+(** Graceful-degradation experiments: the distributed carvings run
+    through {!Congest.Reliable} against seeded {!Congest.Fault}
+    adversaries (experiment F.FAULT, see EXPERIMENTS.md).
+
+    Each scenario runs one algorithm on one workload graph under an iid
+    drop rate plus a chosen number of crash-stop faults, and reports:
+
+    - {b validity} of the output on the {e surviving} subgraph, judged by
+      the {!Cluster.Carving} checker (non-adjacency + domain confinement;
+      the dead fraction is reported, never hidden behind the check);
+    - {b overhead}: outer rounds and messages against the fault-free
+      unwrapped baseline;
+    - {b recovery}: when crashes corrupt the output (possible for the
+      weak-diameter carving, whose convergecast decisions can break), the
+      harness re-runs on the survivor-induced subgraph under a drop-only
+      adversary and reports the extra rounds — the protocol a real
+      deployment would follow after its crash detector fires.
+
+    Every scenario is replayable: the graph, the radii/schedule, and the
+    entire fault schedule derive from [seed]. *)
+
+type algorithm = Ls | Weakdiam
+
+type scenario = {
+  algorithm : algorithm;
+  family : string;  (** a {!Suite} family name *)
+  n : int;
+  epsilon : float;
+  drop : float;  (** iid message drop probability *)
+  crashes : int;  (** crash-stop faults, nodes and rounds seeded *)
+  seed : int;
+}
+
+type row = {
+  s : scenario;
+  valid : bool;  (** final output valid on survivors (after recovery) *)
+  valid_degraded : bool;  (** first (faulty) run already valid *)
+  dead_fraction : float;  (** unclustered fraction among survivors *)
+  crashed_nodes : int list;
+  rounds : int;  (** outer rounds of the faulty run *)
+  base_rounds : int;  (** fault-free unwrapped rounds *)
+  round_overhead : float;  (** [rounds / base_rounds] *)
+  messages : int;  (** frames sent by the wrapped run *)
+  base_messages : int;
+  max_bits : int;  (** largest frame observed *)
+  bandwidth : int;  (** enforced outer budget (inner + header) *)
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  retransmissions : int;
+  detected_dead : int;  (** distinct neighbors declared dead by survivors *)
+  recovery_rounds : int;  (** 0 when no recovery run was needed *)
+}
+
+val run : scenario -> row
+(** Executes the scenario. @raise Not_found on an unknown family. *)
+
+val sweep :
+  ?drops:float list ->
+  ?crash_counts:int list ->
+  ?seed:int ->
+  algorithm ->
+  family:string ->
+  n:int ->
+  epsilon:float ->
+  row list
+(** Cartesian sweep; defaults [drops = \[0.0; 0.01; 0.05; 0.1\]],
+    [crash_counts = \[0; 2\]], [seed = 1]. *)
+
+val csv : row list -> string
+(** One line per row, stable column order (see EXPERIMENTS.md F.FAULT). *)
+
+val pp_row : Format.formatter -> row -> unit

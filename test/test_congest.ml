@@ -126,7 +126,8 @@ let test_sim_bandwidth_enforced () =
     }
   in
   Alcotest.check_raises "bandwidth"
-    (Sim.Bandwidth_exceeded { node = 0; bits = 9999; bandwidth = 10 })
+    (Sim.Bandwidth_exceeded
+       { node = 0; dst = 1; round = 1; bits = 9999; bandwidth = 10 })
     (fun () ->
       ignore (Sim.run ~bandwidth:10 ~bits:(fun _ -> 9999) g oversized))
 
@@ -248,6 +249,17 @@ let test_subtree_counts_skips_non_tree_nodes () =
   check int "root" 2 counts.(0);
   check int "outside untouched" 1 counts.(2)
 
+let test_cost_max_bits_tracks_max () =
+  let c = Cost.create () in
+  Cost.charge c ~max_bits:4 "a";
+  check int "first charge sets it" 4 (Cost.max_message_bits c);
+  Cost.charge c ~max_bits:2 "a";
+  check int "smaller charge ignored" 4 (Cost.max_message_bits c);
+  Cost.charge c ~max_bits:9 "b";
+  check int "larger charge raises it" 9 (Cost.max_message_bits c);
+  check int "rounds default to 1 each" 3 (Cost.rounds c);
+  check int "messages default to 0" 0 (Cost.messages c)
+
 (* ------------------------------------------------------------------ *)
 (* Property: simulator BFS = sequential BFS                             *)
 (* ------------------------------------------------------------------ *)
@@ -285,6 +297,44 @@ let prop_leader_min =
         (fun v -> leaders.(v) = Hashtbl.find mins ids.(v))
         (Graph.nodes g))
 
+(* a Cost meter charged from each program's Sim stats reproduces the
+   simulator's own accounting — the anchoring claim of DESIGN.md §5 *)
+let prop_cost_matches_sim =
+  QCheck.Test.make
+    ~name:"Cost meter charged from Sim stats agrees with the simulator"
+    ~count:25
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_bound 10_000) (int_range 2 30)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Gen.ensure_connected rng (Gen.erdos_renyi rng n 0.15) in
+      let c = Cost.create () in
+      let charge tag (stats : Sim.stats) =
+        Cost.charge c ~rounds:stats.Sim.rounds_used
+          ~messages:stats.Sim.total_messages ~max_bits:stats.Sim.max_bits_seen
+          tag
+      in
+      let leaders, s1 = Programs.leader_election g in
+      charge "leader" s1;
+      let (_, parent), s2 = Programs.bfs g ~source:leaders.(0) in
+      charge "bfs" s2;
+      let _, s3 = Programs.subtree_counts g ~parent in
+      charge "convergecast" s3;
+      Cost.rounds c
+      = s1.Sim.rounds_used + s2.Sim.rounds_used + s3.Sim.rounds_used
+      && Cost.messages c
+         = s1.Sim.total_messages + s2.Sim.total_messages + s3.Sim.total_messages
+      && Cost.max_message_bits c
+         = max s1.Sim.max_bits_seen
+             (max s2.Sim.max_bits_seen s3.Sim.max_bits_seen)
+      && Cost.breakdown c
+         = [
+             ("bfs", s2.Sim.rounds_used);
+             ("convergecast", s3.Sim.rounds_used);
+             ("leader", s1.Sim.rounds_used);
+           ])
+
 let () =
   Alcotest.run "congest"
     [
@@ -302,6 +352,8 @@ let () =
           Alcotest.test_case "parallel empty" `Quick test_cost_parallel_empty;
           Alcotest.test_case "rejects negative" `Quick
             test_cost_rejects_negative;
+          Alcotest.test_case "max bits tracks max" `Quick
+            test_cost_max_bits_tracks_max;
         ] );
       ( "sim",
         [
@@ -338,5 +390,6 @@ let () =
             test_subtree_counts_skips_non_tree_nodes;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_sim_bfs; prop_leader_min ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sim_bfs; prop_leader_min; prop_cost_matches_sim ] );
     ]
