@@ -23,6 +23,7 @@ let mode =
   | _ :: "full" :: _ -> `Full
   | _ :: "quick" :: _ -> `Quick
   | _ :: "faults" :: _ -> `Faults
+  | _ :: "trace" :: _ -> `Trace
   | _ -> `Standard
 
 (* surface the simulator's incomplete-run warnings (Sim.run
@@ -54,7 +55,7 @@ let table1 () =
     "Table 1 -- network decomposition in CONGEST (measured colors, cluster \
      diameter, rounds)";
   Format.fprintf fmt
-    "Rows marked thm2.3 / thm3.4 are THIS PAPER's algorithms; sDiam = -1 \
+    "Rows marked thm2.3 / thm3.4 are THIS PAPER's algorithms; sDiam = '-' \
      means a@.cluster induces a disconnected subgraph (only legal for weak \
      rows); diameters@.are double-sweep estimates.@.@.";
   let rows = ref [] in
@@ -98,10 +99,12 @@ let headline rows =
       in
       match (find "thm2.3", find "thm3.4") with
       | Some a, Some b ->
-          Format.fprintf fmt "%8d %12d %12d %8.2f %14d %14d@." n
-            a.Measure.strong_diameter b.Measure.strong_diameter
-            (float_of_int a.Measure.strong_diameter
-            /. float_of_int (max 1 b.Measure.strong_diameter))
+          (* both algorithms are strong, so a missing diameter would mean a
+             validity failure already flagged in the table *)
+          let da = Option.value a.Measure.strong_diameter ~default:(-1) in
+          let db = Option.value b.Measure.strong_diameter ~default:(-1) in
+          Format.fprintf fmt "%8d %12d %12d %8.2f %14d %14d@." n da db
+            (float_of_int da /. float_of_int (max 1 db))
             a.Measure.rounds b.Measure.rounds
       | _ -> ())
     table1_sizes
@@ -379,10 +382,10 @@ let shape_check rows2 =
             | Some r ->
                 let measured =
                   match which with
-                  | `Diameter ->
-                      if r.Measure.c_strong_diameter >= 0 then
-                        r.Measure.c_strong_diameter
-                      else r.Measure.c_weak_diameter
+                  | `Diameter -> (
+                      match r.Measure.c_strong_diameter with
+                      | Some d -> d
+                      | None -> r.Measure.c_weak_diameter)
                   | `Rounds -> r.Measure.c_rounds
                 in
                 Some
@@ -647,6 +650,118 @@ let bechamel_suite () =
     [ test_table1; test_table2; test_figures ]
 
 (* ------------------------------------------------------------------ *)
+(* T.TRACE: observability overhead                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* median wall-clock of [reps] runs of [f] *)
+let median_seconds ~reps f =
+  let samples =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (reps / 2)
+
+let trace_experiment () =
+  section
+    "T.TRACE -- wall-clock overhead of the per-round event sink on \
+     simulator-heavy workloads";
+  Format.fprintf fmt
+    "Each workload runs with no sink (off), with a sink attached (on), \
+     then with no@.sink again (off2, the noise floor). The observability \
+     contract is: 'off' pays@.nothing — the hot path only tests an option \
+     — and 'on' stays within a few@.percent. overhead%% = (on - off) / \
+     off; compare it against the floor.@.@.";
+  let reps = match mode with `Quick -> 3 | _ -> 9 in
+  let er = Suite.erdos_renyi.Suite.build ~seed ~n:96 in
+  let grid = Gen.grid 8 8 in
+  (* iters batches sub-millisecond workloads so one sample rises above
+     timer noise; each traced iteration gets a fresh sink *)
+  let workloads =
+    [
+      ( "leader_election/er96",
+        200,
+        fun trace -> ignore (Congest.Programs.leader_election ?trace er) );
+      ( "bfs/er96",
+        200,
+        fun trace -> ignore (Congest.Programs.bfs ?trace er ~source:0) );
+      ( "weak_carve_sim/grid64",
+        2,
+        fun trace ->
+          ignore (Weakdiam.Distributed.carve ?trace grid ~epsilon:0.5) );
+    ]
+  in
+  Format.fprintf fmt "%-24s %5s %10s %10s %10s %10s %10s@." "workload" "reps"
+    "off(s)" "on(s)" "off2(s)" "overhead%" "floor%";
+  let rows =
+    List.map
+      (fun (name, iters, exec) ->
+        let sink = Congest.Trace.sink () in
+        let batch trace () =
+          for _ = 1 to iters do
+            if trace then begin
+              Congest.Trace.clear sink;
+              exec (Some sink)
+            end
+            else exec None
+          done
+        in
+        (* warm-up, excluded from the samples *)
+        batch false ();
+        let off = median_seconds ~reps (batch false) in
+        let on = median_seconds ~reps (batch true) in
+        let off2 = median_seconds ~reps (batch false) in
+        let pct a b = 100.0 *. (a -. b) /. Float.max b 1e-9 in
+        let overhead = pct on off and floor = pct off2 off in
+        Format.fprintf fmt "%-24s %5d %10.4f %10.4f %10.4f %10.2f %10.2f@."
+          name reps off on off2 overhead floor;
+        (name, reps, off, on, off2, overhead, floor))
+      workloads
+  in
+  Format.pp_print_flush fmt ();
+  rows
+
+(* sample artifacts so a bench run leaves an inspectable event stream *)
+let trace_artifacts () =
+  let grid = Gen.grid 8 8 in
+  let sink = Congest.Trace.sink () in
+  ignore (Weakdiam.Distributed.carve ~trace:sink grid ~epsilon:0.5);
+  let jsonl =
+    Congest.Trace.save ~file:"trace_weak_carve_grid64.jsonl" sink
+  in
+  let metrics = Congest.Metrics.of_trace sink in
+  let files =
+    Congest.Metrics.save ~prefix:"trace_weak_carve_grid64" metrics
+  in
+  Format.fprintf fmt "@.sample event stream -> %s (%d events)@." jsonl
+    (Congest.Trace.length sink);
+  List.iter (Format.fprintf fmt "sample metrics -> %s@.") files
+
+let run_trace_only () =
+  let t0 = Unix.gettimeofday () in
+  let rows = trace_experiment () in
+  (try
+     let dir = "bench_results" in
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+     let oc = open_out (Filename.concat dir "trace_overhead.csv") in
+     output_string oc
+       "workload,reps,off_seconds,on_seconds,off2_seconds,overhead_pct,floor_pct\n";
+     List.iter
+       (fun (name, reps, off, on, off2, overhead, floor) ->
+         output_string oc
+           (Printf.sprintf "%s,%d,%.6f,%.6f,%.6f,%.3f,%.3f\n" name reps off on
+              off2 overhead floor))
+       rows;
+     close_out oc;
+     trace_artifacts ();
+     Format.fprintf fmt "@.CSV dump written to bench_results/trace_overhead.csv@."
+   with Sys_error e -> Format.fprintf fmt "@.(skipping CSV dump: %s)@." e);
+  Format.fprintf fmt "@.total benchmark time: %.1f s@."
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
 
 let run_faults_only () =
   let t0 = Unix.gettimeofday () in
@@ -666,13 +781,16 @@ let () =
   Format.fprintf fmt
     "strongdecomp benchmark harness -- reproduction of Chang & Ghaffari, \
      PODC 2021@.mode: %s (pass 'full' for the n=16384 sweep, 'quick' for a \
-     smoke test,@.'faults' for the graceful-degradation sweep only)@."
+     smoke test,@.'faults' for the graceful-degradation sweep only, 'trace' \
+     for the observability@.overhead experiment only)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
     | `Full -> "full"
-    | `Faults -> "faults");
+    | `Faults -> "faults"
+    | `Trace -> "trace");
   if mode = `Faults then run_faults_only ()
+  else if mode = `Trace then run_trace_only ()
   else begin
   let t0 = Unix.gettimeofday () in
   let rows1 = table1 () in

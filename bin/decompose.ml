@@ -4,6 +4,7 @@
      decompose run   --algo thm2.3 --family grid --n 1024
      decompose carve --algo thm2.2 --family path --n 4096 --epsilon 0.25
      decompose lemma31 --family subdiv --n 2048
+     decompose trace thm2.3 grid --n 1024
      decompose list *)
 
 open Cmdliner
@@ -108,7 +109,7 @@ let carve_cmd =
     let doc =
       "Carving algorithm: "
       ^ String.concat ", "
-          (List.map (fun (c : Algorithms.carver) -> c.c_name) Algorithms.carvers)
+          (List.map (fun (c : Algorithms.carver) -> c.name) Algorithms.carvers)
     in
     Arg.(value & opt string "thm2.2" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
   in
@@ -121,7 +122,7 @@ let carve_cmd =
     in
     let family = lookup_family family in
     let row = Measure.carving_row ~seed c family ~n ~epsilon in
-    Format.printf "%s -- %s@.@." c.Algorithms.c_name c.Algorithms.c_reference;
+    Format.printf "%s -- %s@.@." c.Algorithms.name c.Algorithms.reference;
     Measure.pp_carve_table Format.std_formatter [ row ];
     if not row.Measure.c_valid then exit 1
   in
@@ -281,6 +282,73 @@ let faults_cmd =
       const run $ algo_arg $ family_arg $ n_arg $ seed_arg $ epsilon_arg
       $ drop_arg $ crashes_arg $ sweep_arg $ out_arg)
 
+let trace_cmd =
+  let algo_pos =
+    Arg.(
+      value & pos 0 string "thm2.3"
+      & info [] ~docv:"ALGO"
+          ~doc:"Algorithm to trace (a decomposer name; carver names work too).")
+  in
+  let family_pos =
+    Arg.(value & pos 1 string "grid" & info [] ~docv:"FAMILY" ~doc:"Workload family.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt string "bench_results"
+      & info [ "out-dir"; "o" ] ~docv:"DIR"
+          ~doc:"Directory for the JSONL event stream and metric dumps.")
+  in
+  let run algo family n seed epsilon out_dir =
+    let family = lookup_family family in
+    let sink = Congest.Trace.sink () in
+    let name, reference, valid, print_row =
+      match Algorithms.find_decomposer algo with
+      | d ->
+          let row = Measure.decomposition_row ~seed ~trace:sink d family ~n in
+          ( d.Algorithms.name,
+            d.Algorithms.reference,
+            row.Measure.valid,
+            fun () -> Measure.pp_decomp_table Format.std_formatter [ row ] )
+      | exception Not_found -> (
+          match Algorithms.find_carver algo with
+          | c ->
+              let row =
+                Measure.carving_row ~seed ~trace:sink c family ~n ~epsilon
+              in
+              ( c.Algorithms.name,
+                c.Algorithms.reference,
+                row.Measure.c_valid,
+                fun () -> Measure.pp_carve_table Format.std_formatter [ row ] )
+          | exception Not_found ->
+              Format.eprintf "unknown algorithm %s@." algo;
+              exit 2)
+    in
+    Format.printf "%s -- %s@.@." name reference;
+    print_row ();
+    let base = Printf.sprintf "trace_%s_%s" name family.Suite.name in
+    let jsonl =
+      Congest.Trace.save ~dir:out_dir ~file:(base ^ ".jsonl") sink
+    in
+    let metrics = Congest.Metrics.of_trace sink in
+    let metric_files = Congest.Metrics.save ~dir:out_dir ~prefix:base metrics in
+    Format.printf "@.%d trace events%s -> %s@." (Congest.Trace.length sink)
+      (if Congest.Trace.truncated sink > 0 then
+         Printf.sprintf " (%d more dropped at capacity)"
+           (Congest.Trace.truncated sink)
+       else "")
+      jsonl;
+    List.iter (Format.printf "derived metrics -> %s@.") metric_files;
+    if not valid then exit 1
+  in
+  let doc =
+    "run one algorithm with a trace sink attached and dump the per-round \
+     event stream (JSONL) plus derived metrics (CSV/JSONL)"
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ algo_pos $ family_pos $ n_arg $ seed_arg $ epsilon_arg
+      $ out_dir_arg)
+
 let list_cmd =
   let run () =
     Format.printf "families:@.";
@@ -293,7 +361,7 @@ let list_cmd =
     Format.printf "@.carving algorithms (Table 2 rows):@.";
     List.iter
       (fun (c : Algorithms.carver) ->
-        Format.printf "  %-8s %s@." c.c_name c.c_reference)
+        Format.printf "  %-8s %s@." c.name c.reference)
       Algorithms.carvers
   in
   let doc = "list available families and algorithms" in
@@ -307,4 +375,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; carve_cmd; lemma31_cmd; sweep_cmd; faults_cmd; list_cmd ]))
+          [
+            run_cmd;
+            carve_cmd;
+            lemma31_cmd;
+            sweep_cmd;
+            faults_cmd;
+            trace_cmd;
+            list_cmd;
+          ]))

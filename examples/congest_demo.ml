@@ -68,12 +68,22 @@ let () =
   in
   (try
      ignore
-       (Congest.Sim.run ~bits:(fun () -> 10_000) g oversized)
+       (Congest.Sim.simulate ~bits:(fun () -> 10_000) g oversized)
    with Congest.Sim.Bandwidth_exceeded { node; dst; round; bits; bandwidth } ->
      Format.printf
        "bandwidth check: node %d tried to send %d bits > %d (to %d, round %d) \
         and was rejected@."
        node bits bandwidth dst round);
+
+  (* observability: attach a trace sink and get the per-round event
+     stream plus derived metrics for free *)
+  let sink = Congest.Trace.sink () in
+  let _, stats = Congest.Programs.leader_election ~trace:sink g in
+  let metrics = Congest.Metrics.of_trace sink in
+  Format.printf
+    "tracing: %d events over %d rounds (%d messages); derived metrics:@.%a"
+    (Congest.Trace.length sink) stats.Congest.Sim.rounds_used
+    stats.Congest.Sim.total_messages Congest.Metrics.pp metrics;
 
   (* fault injection: leader election under a lossy adversary still
      terminates, but dropped updates are never resent, so nodes can elect

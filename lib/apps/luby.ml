@@ -89,9 +89,12 @@ let run ?(seed = 1) g =
     | Priority _ -> 1 + priority_bits + id_bits
     | In_announce -> 1
   in
-  let states, stats =
-    Congest.Sim.run ~max_rounds:((8 * id_bits) + 64)
-      ~bandwidth:(max (Congest.Bits.bandwidth ~n) (1 + priority_bits + id_bits))
-      ~bits g program
+  let config =
+    Congest.Sim.Config.(
+      default
+      |> with_max_rounds ((8 * id_bits) + 64)
+      |> with_bandwidth
+           (max (Congest.Bits.bandwidth ~n) (1 + priority_bits + id_bits)))
   in
+  let states, stats = Congest.Sim.simulate ~config ~bits g program in
   (Array.map (fun st -> st.status = In_mis) states, stats)

@@ -53,11 +53,13 @@ let build rng g ~epsilon =
 let cluster_of_states states =
   Array.map (fun s -> if s.best_slack >= 1 then s.best_prio else -1) states
 
-let attempt rng g ~epsilon =
+let attempt ?trace rng g ~epsilon =
   let cap, msg_bits, program = build rng g ~epsilon in
+  let config =
+    { Congest.Sim.Config.default with max_rounds = Some ((2 * cap) + 8); trace }
+  in
   let states, stats =
-    Congest.Sim.run ~max_rounds:((2 * cap) + 8) ~bits:(fun _ -> msg_bits) g
-      program
+    Congest.Sim.simulate ~config ~bits:(fun _ -> msg_bits) g program
   in
   (cluster_of_states states, stats)
 
@@ -71,15 +73,17 @@ type reliable_attempt = {
   inner_rounds : int;
 }
 
-let attempt_reliable ?adversary ?(liveness_timeout = 64) rng g ~epsilon =
+let attempt_reliable ?adversary ?(liveness_timeout = 64) ?trace rng g ~epsilon
+    =
   let cap, msg_bits, program = build rng g ~epsilon in
   (* the flood quiesces within 2*cap + 2 inner rounds; the rest is slack *)
   let inner_rounds = (2 * cap) + 8 in
   let cfg = Congest.Reliable.config ~inner_rounds ~liveness_timeout () in
+  let sim =
+    { Congest.Sim.Config.default with adversary; on_incomplete = `Ignore; trace }
+  in
   let r =
-    Congest.Reliable.run ?adversary ~on_incomplete:`Ignore cfg
-      ~bits:(fun _ -> msg_bits)
-      g program
+    Congest.Reliable.simulate ~sim cfg ~bits:(fun _ -> msg_bits) g program
   in
   let cluster_of = cluster_of_states r.Congest.Reliable.states in
   let crashed = r.Congest.Reliable.sim_stats.Congest.Sim.faults.crashed in

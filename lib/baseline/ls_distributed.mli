@@ -18,6 +18,7 @@
     the test suite checks the simulator's actual round count agrees. *)
 
 val attempt :
+  ?trace:Congest.Trace.sink ->
   Dsgraph.Rng.t ->
   Dsgraph.Graph.t ->
   epsilon:float ->
@@ -41,6 +42,7 @@ type reliable_attempt = {
 val attempt_reliable :
   ?adversary:Congest.Fault.t ->
   ?liveness_timeout:int ->
+  ?trace:Congest.Trace.sink ->
   Dsgraph.Rng.t ->
   Dsgraph.Graph.t ->
   epsilon:float ->

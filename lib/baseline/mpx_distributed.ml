@@ -63,7 +63,7 @@ type nstate = {
   mutable round : int;
 }
 
-let partition ?(seed = 1) g ~beta =
+let partition ?(seed = 1) ?adversary ?trace g ~beta =
   if beta <= 0.0 then invalid_arg "Mpx_distributed.partition: beta must be positive";
   let n = Graph.n g in
   let delta, shift_cap = shifts ~seed g ~beta in
@@ -100,11 +100,16 @@ let partition ?(seed = 1) g ~beta =
           else (st, [], st.center >= 0));
     }
   in
+  let config =
+    {
+      Congest.Sim.Config.default with
+      max_rounds = Some (shift_cap + (4 * n) + 16);
+      adversary;
+      trace;
+    }
+  in
   let states, sim_stats =
-    Congest.Sim.run
-      ~max_rounds:(shift_cap + (4 * n) + 16)
-      ~bits:(fun _ -> id_bits)
-      g program
+    Congest.Sim.simulate ~config ~bits:(fun _ -> id_bits) g program
   in
   let cluster_of = Array.map (fun st -> st.center) states in
   {

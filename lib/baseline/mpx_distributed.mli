@@ -18,10 +18,17 @@ type result = {
 }
 
 val partition :
-  ?seed:int -> Dsgraph.Graph.t -> beta:float -> result
+  ?seed:int ->
+  ?adversary:Congest.Fault.t ->
+  ?trace:Congest.Trace.sink ->
+  Dsgraph.Graph.t ->
+  beta:float ->
+  result
 (** [partition g ~beta] with shifts [~ Geometric(1 - e^{-β})], capped at
     [O(log n / β)]. Clusters induce connected subgraphs of radius
-    [O(log n/β)] w.h.p. *)
+    [O(log n/β)] w.h.p. Under an [adversary] the waves are no longer
+    exact (dropped announcements are not resent) — useful only for
+    observing fault effects through a [trace] sink. *)
 
 val reference : ?seed:int -> Dsgraph.Graph.t -> beta:float -> int array
 (** The centralized assignment (per-node center) the simulation must

@@ -3,9 +3,13 @@ type t = {
   mutable messages : int;
   mutable max_bits : int;
   tags : (string, int) Hashtbl.t;
+  trace : Trace.sink option;
 }
 
-let create () = { rounds = 0; messages = 0; max_bits = 0; tags = Hashtbl.create 8 }
+let create ?trace () =
+  { rounds = 0; messages = 0; max_bits = 0; tags = Hashtbl.create 8; trace }
+
+let trace t = t.trace
 
 let charge t ?(rounds = 1) ?(messages = 0) ?(max_bits = 0) tag =
   if rounds < 0 || messages < 0 then invalid_arg "Cost.charge: negative charge";
@@ -13,7 +17,10 @@ let charge t ?(rounds = 1) ?(messages = 0) ?(max_bits = 0) tag =
   t.messages <- t.messages + messages;
   if max_bits > t.max_bits then t.max_bits <- max_bits;
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.tags tag) in
-  Hashtbl.replace t.tags tag (prev + rounds)
+  Hashtbl.replace t.tags tag (prev + rounds);
+  match t.trace with
+  | None -> ()
+  | Some s -> Trace.record s (Trace.Cost_charged { tag; rounds; messages; max_bits })
 
 let rounds t = t.rounds
 let messages t = t.messages

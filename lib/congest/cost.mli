@@ -11,12 +11,20 @@
 
 type t
 
-val create : unit -> t
+val create : ?trace:Trace.sink -> unit -> t
+(** A meter, optionally reporting each charge into a {!Trace.sink} as a
+    [Cost_charged] event so engine-level runs are observable with the
+    same machinery as simulator-level runs. *)
+
+val trace : t -> Trace.sink option
+(** The sink this meter reports into, if any. *)
 
 val charge : t -> ?rounds:int -> ?messages:int -> ?max_bits:int -> string -> unit
 (** [charge t ~rounds ~messages ~max_bits tag] adds [rounds] CONGEST rounds
     (default 1) under the breakdown key [tag], plus [messages] messages
-    (default 0) and updates the maximum observed message size. *)
+    (default 0) and updates the maximum observed message size. When the
+    meter was created with a [trace] sink, the charge is also recorded
+    there as a [Cost_charged] event. *)
 
 val rounds : t -> int
 (** Total rounds charged. *)

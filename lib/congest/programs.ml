@@ -4,9 +4,12 @@ open Dsgraph
 (* Leader election: flood the minimum identifier.                      *)
 (* ------------------------------------------------------------------ *)
 
+let config ?adversary ?trace () =
+  { Sim.Config.default with adversary; trace }
+
 type leader_state = { best : int; dirty : bool }
 
-let leader_election ?adversary g =
+let leader_election ?adversary ?trace g =
   let n = Graph.n g in
   let id_bits = Bits.id_bits ~n in
   let program =
@@ -27,7 +30,11 @@ let leader_election ?adversary g =
           else ({ best; dirty = false }, [], true));
     }
   in
-  let states, stats = Sim.run ?adversary ~bits:(fun _ -> id_bits) g program in
+  let states, stats =
+    Sim.simulate ~config:(config ?adversary ?trace ())
+      ~bits:(fun _ -> id_bits)
+      g program
+  in
   (Array.map (fun s -> s.best) states, stats)
 
 (* ------------------------------------------------------------------ *)
@@ -36,7 +43,7 @@ let leader_election ?adversary g =
 
 type bfs_state = { dist : int; parent : int; announced : bool }
 
-let bfs ?adversary g ~source =
+let bfs ?adversary ?trace g ~source =
   let n = Graph.n g in
   let msg_bits = Bits.int_bits (max 1 n) in
   let program =
@@ -72,7 +79,11 @@ let bfs ?adversary g ~source =
           else (state, [], true));
     }
   in
-  let states, stats = Sim.run ?adversary ~bits:(fun _ -> msg_bits) g program in
+  let states, stats =
+    Sim.simulate ~config:(config ?adversary ?trace ())
+      ~bits:(fun _ -> msg_bits)
+      g program
+  in
   ((Array.map (fun s -> s.dist) states, Array.map (fun s -> s.parent) states), stats)
 
 (* ------------------------------------------------------------------ *)
@@ -93,7 +104,7 @@ type count_state = {
    in rounds >= 2 and arrive in rounds >= 3. Hence after processing the
    round-2 inbox, [pending] equals the true child count, and from round 2 on
    [pending = 0] means the whole subtree has reported. *)
-let subtree_counts ?adversary g ~parent =
+let subtree_counts ?adversary ?trace g ~parent =
   let n = Graph.n g in
   let msg_bits = Bits.int_bits (max 1 n) + 1 in
   let program =
@@ -131,7 +142,7 @@ let subtree_counts ?adversary g ~parent =
     }
   in
   let states, stats =
-    Sim.run ?adversary
+    Sim.simulate ~config:(config ?adversary ?trace ())
       ~bits:(fun m -> match m with Child -> 1 | Count _ -> msg_bits)
       g program
   in

@@ -4,7 +4,10 @@
     [d + O(1)] rounds, and all messages stay within [O(log n)] bits. *)
 
 val leader_election :
-  ?adversary:Fault.t -> Dsgraph.Graph.t -> int array * Sim.stats
+  ?adversary:Fault.t ->
+  ?trace:Trace.sink ->
+  Dsgraph.Graph.t ->
+  int array * Sim.stats
 (** Min-identifier flooding. Returns the leader elected at each node (all
     equal to the component's minimum id) and run statistics; terminates in
     [O(diameter)] rounds on connected graphs. Under a lossy [adversary]
@@ -14,6 +17,7 @@ val leader_election :
 
 val bfs :
   ?adversary:Fault.t ->
+  ?trace:Trace.sink ->
   Dsgraph.Graph.t ->
   source:int ->
   (int array * int array) * Sim.stats
@@ -23,6 +27,7 @@ val bfs :
 
 val subtree_counts :
   ?adversary:Fault.t ->
+  ?trace:Trace.sink ->
   Dsgraph.Graph.t ->
   parent:int array ->
   int array * Sim.stats

@@ -289,18 +289,26 @@ type 'st result = {
   transport : transport_stats;
 }
 
-let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) cfg ~bits g
-    inner =
+let simulate ?(sim = Sim.Config.default) cfg ~bits g inner =
   let n = Graph.n g in
-  let inner_bw = Option.value bandwidth ~default:(Bits.bandwidth ~n) in
+  let inner_bw =
+    Option.value sim.Sim.Config.bandwidth ~default:(Bits.bandwidth ~n)
+  in
   let hdr = header_bits ~inner_rounds:cfg.inner_rounds in
   let max_rounds =
-    Option.value max_rounds
+    Option.value sim.Sim.Config.max_rounds
       ~default:((6 * cfg.inner_rounds) + (8 * cfg.liveness_timeout) + 64)
+  in
+  let config =
+    {
+      sim with
+      Sim.Config.max_rounds = Some max_rounds;
+      bandwidth = Some (inner_bw + hdr);
+    }
   in
   let prog = wrap cfg inner in
   let nodes, sim_stats =
-    Sim.run ~max_rounds ~bandwidth:(inner_bw + hdr) ?adversary ~on_incomplete
+    Sim.simulate ~config
       ~bits:(frame_bits ~bits ~inner_rounds:cfg.inner_rounds)
       g prog
   in
@@ -311,3 +319,10 @@ let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) cfg ~bits g
     sim_stats;
     transport = transport_stats nodes;
   }
+
+let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) cfg ~bits g
+    inner =
+  simulate
+    ~sim:
+      { Sim.Config.max_rounds; bandwidth; adversary; on_incomplete; trace = None }
+    cfg ~bits g inner

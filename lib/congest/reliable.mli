@@ -38,7 +38,7 @@
 
     {b Bit accounting.} Every frame pays {!header_bits} on top of its
     payload — two sequence-number-sized fields plus flags — and
-    {!run} checks frames against [inner bandwidth + header_bits].
+    {!simulate} checks frames against [inner bandwidth + header_bits].
     Since [inner_rounds] is polynomial in [n] for every program in this
     repo, the header is [O(log n)] and the CONGEST claim survives
     wrapping. *)
@@ -85,7 +85,7 @@ val wrap :
   config -> ('st, 'msg) Sim.program -> (('st, 'msg) node, 'msg frame) Sim.program
 (** The transport combinator. Run the result through {!Sim.run} with
     [bits = frame_bits ~bits ~inner_rounds] and a bandwidth widened by
-    {!header_bits} — or use {!run}, which does exactly that. *)
+    {!header_bits} — or use {!simulate}, which does exactly that. *)
 
 val inner_state : ('st, 'msg) node -> 'st
 val finished : ('st, 'msg) node -> bool
@@ -111,6 +111,22 @@ type 'st result = {
   transport : transport_stats;
 }
 
+val simulate :
+  ?sim:Sim.Config.t ->
+  config ->
+  bits:('msg -> int) ->
+  Dsgraph.Graph.t ->
+  ('st, 'msg) Sim.program ->
+  'st result
+(** [simulate ~sim cfg ~bits g program] wraps [program] and simulates it
+    under the run configuration [sim] (default {!Sim.Config.default}).
+    [sim.bandwidth] is the {e inner} budget (default {!Bits.bandwidth});
+    the outer simulation enforces [bandwidth + header_bits].
+    [sim.max_rounds] defaults to
+    [6 * inner_rounds + 8 * liveness_timeout + 64], ample for drop rates
+    well beyond the benchmarked 0.1. A [sim.trace] sink observes the
+    {e outer} (transport-level) rounds and frames. *)
+
 val run :
   ?max_rounds:int ->
   ?bandwidth:int ->
@@ -121,8 +137,7 @@ val run :
   Dsgraph.Graph.t ->
   ('st, 'msg) Sim.program ->
   'st result
-(** [run cfg ~bits g program] wraps [program] and simulates it.
-    [bandwidth] is the {e inner} budget (default {!Bits.bandwidth}); the
-    outer simulation enforces [bandwidth + header_bits]. [max_rounds]
-    defaults to [6 * inner_rounds + 8 * liveness_timeout + 64], ample for
-    drop rates well beyond the benchmarked 0.1. *)
+[@@ocaml.deprecated
+  "use Reliable.simulate with a Sim.Config.t for the run options"]
+(** Deprecated optional-argument shim over {!simulate}; kept for one
+    release. Cannot attach a trace. *)

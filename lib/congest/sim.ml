@@ -37,12 +37,39 @@ type stats = {
   faults : fault_stats;
 }
 
+module Config = struct
+  type t = {
+    max_rounds : int option;
+    bandwidth : int option;
+    adversary : Fault.t option;
+    on_incomplete : [ `Ignore | `Warn | `Raise ];
+    trace : Trace.sink option;
+  }
+
+  let default =
+    {
+      max_rounds = None;
+      bandwidth = None;
+      adversary = None;
+      on_incomplete = `Warn;
+      trace = None;
+    }
+
+  let with_max_rounds max_rounds t = { t with max_rounds = Some max_rounds }
+  let with_bandwidth bandwidth t = { t with bandwidth = Some bandwidth }
+  let with_adversary adversary t = { t with adversary = Some adversary }
+  let with_on_incomplete on_incomplete t = { t with on_incomplete }
+  let with_trace sink t = { t with trace = Some sink }
+end
+
 let log_src = Logs.Src.create "congest.sim" ~doc:"CONGEST simulator"
 
 module Log = (val Logs.src_log log_src)
 
-let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) ~bits g
-    program =
+let simulate ?(config = Config.default) ~bits g program =
+  let { Config.max_rounds; bandwidth; adversary; on_incomplete; trace } =
+    config
+  in
   let n = Graph.n g in
   let max_rounds = Option.value max_rounds ~default:((4 * n) + 16) in
   let bandwidth = Option.value bandwidth ~default:(Bits.bandwidth ~n) in
@@ -76,10 +103,19 @@ let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) ~bits g
     | Some adv -> Fault.is_crashed adv ~round v
     | None -> false
   in
+  (* per-round tallies for Round_end; plain int refs so they cost nothing
+     when tracing is off *)
+  let sent_this_round = ref 0 in
+  let delivered_this_round = ref 0 in
   let continue = ref true in
   while !continue && !rounds_used < max_rounds do
     incr rounds_used;
     let round = !rounds_used in
+    sent_this_round := 0;
+    delivered_this_round := 0;
+    (match trace with
+    | None -> ()
+    | Some s -> Trace.record s (Trace.Round_start { round }));
     (* move deliveries due this round into the inboxes, in send order *)
     (match Hashtbl.find_opt arrivals round with
     | None -> ()
@@ -87,27 +123,51 @@ let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) ~bits g
         List.iter
           (fun (dst, src, msg) ->
             decr pending;
-            if crashed_at round dst then
-              match adversary with
+            if crashed_at round dst then begin
+              (match adversary with
               | Some adv -> Fault.count_drop adv
+              | None -> ());
+              match trace with
               | None -> ()
-            else inboxes.(dst) <- (src, msg) :: inboxes.(dst))
+              | Some s ->
+                  Trace.record s
+                    (Trace.Message_dropped
+                       { round; src; dst; reason = Trace.Crashed_destination })
+            end
+            else begin
+              inboxes.(dst) <- (src, msg) :: inboxes.(dst);
+              incr delivered_this_round;
+              match trace with
+              | None -> ()
+              | Some s -> Trace.emit_message_delivered s ~round ~src ~dst
+            end)
           !cell;
         (* cell is in reverse send order and the prepend above reverses
            again per destination: inboxes end up in send order *)
         Hashtbl.remove arrivals round);
     for v = 0 to n - 1 do
       if crashed_at round v then begin
+        (match trace with
+        | None -> ()
+        | Some s ->
+            if not (crashed_at (round - 1) v) then
+              Trace.record s (Trace.Node_crashed { round; node = v }));
         halted.(v) <- true;
         inboxes.(v) <- []
       end
       else begin
+        let was_halted = halted.(v) in
         let state, outgoing, halt =
           program.round ~node:v ~state:states.(v) ~inbox:inboxes.(v)
         in
         inboxes.(v) <- [];
         states.(v) <- state;
         halted.(v) <- halt;
+        (match trace with
+        | None -> ()
+        | Some s ->
+            if halt && not was_halted then
+              Trace.record s (Trace.Node_halted { round; node = v }));
         let seen = Hashtbl.create 4 in
         List.iter
           (fun (dst, msg) ->
@@ -122,28 +182,91 @@ let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) ~bits g
             let b = bits msg in
             if b > bandwidth then
               raise (Bandwidth_exceeded { node = v; dst; round; bits = b; bandwidth });
-            if b > !max_bits_seen then max_bits_seen := b;
+            if b > !max_bits_seen then begin
+              max_bits_seen := b;
+              match trace with
+              | None -> ()
+              | Some s ->
+                  Trace.record s
+                    (Trace.Bandwidth_high_water { round; node = v; bits = b })
+            end;
             incr total_messages;
+            incr sent_this_round;
+            (match trace with
+            | None -> ()
+            | Some s -> Trace.emit_message_sent s ~round ~src:v ~dst ~bits:b);
             match adversary with
             | None -> schedule ~at:(round + 1) dst v msg
             | Some adv ->
-                if Fault.is_crashed adv ~round dst then Fault.count_drop adv
+                if Fault.is_crashed adv ~round dst then begin
+                  Fault.count_drop adv;
+                  match trace with
+                  | None -> ()
+                  | Some s ->
+                      Trace.record s
+                        (Trace.Message_dropped
+                           {
+                             round;
+                             src = v;
+                             dst;
+                             reason = Trace.Crashed_destination;
+                           })
+                end
                 else (
                   match Fault.fate adv ~round ~src:v ~dst with
                   | Fault.Deliver -> schedule ~at:(round + 1) dst v msg
-                  | Fault.Drop -> ()
+                  | Fault.Drop -> (
+                      match trace with
+                      | None -> ()
+                      | Some s ->
+                          Trace.record s
+                            (Trace.Message_dropped
+                               {
+                                 round;
+                                 src = v;
+                                 dst;
+                                 reason = Trace.Adversary;
+                               }))
                   | Fault.Duplicate d ->
                       schedule ~at:(round + 1) dst v msg;
-                      schedule ~at:(round + 1 + d) dst v msg
-                  | Fault.Delay d -> schedule ~at:(round + 1 + d) dst v msg))
+                      schedule ~at:(round + 1 + d) dst v msg;
+                      (match trace with
+                      | None -> ()
+                      | Some s ->
+                          Trace.record s
+                            (Trace.Message_duplicated
+                               { round; src = v; dst; copy_delay = d }))
+                  | Fault.Delay d -> (
+                      schedule ~at:(round + 1 + d) dst v msg;
+                      match trace with
+                      | None -> ()
+                      | Some s ->
+                          Trace.record s
+                            (Trace.Message_delayed
+                               { round; src = v; dst; delay = d }))))
           outgoing
       end
     done;
     let all_halted = Array.for_all (fun h -> h) halted in
+    (match trace with
+    | None -> ()
+    | Some s ->
+        let halted_count =
+          Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 halted
+        in
+        Trace.record s
+          (Trace.Round_end
+             {
+               round;
+               sent = !sent_this_round;
+               delivered = !delivered_this_round;
+               in_flight = !pending;
+               halted = halted_count;
+             }));
     if all_halted && !pending = 0 then continue := false
   done;
   let all_halted = Array.for_all (fun h -> h) halted in
-  if not all_halted || !pending > 0 then begin
+  if (not all_halted) || !pending > 0 then begin
     let running =
       Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 halted
     in
@@ -176,3 +299,10 @@ let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) ~bits g
       all_halted;
       faults;
     } )
+
+let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) ~bits g
+    program =
+  simulate
+    ~config:
+      { Config.max_rounds; bandwidth; adversary; on_incomplete; trace = None }
+    ~bits g program

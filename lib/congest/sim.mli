@@ -8,11 +8,17 @@
     exceeding it raises {!Bandwidth_exceeded} — this is how the ABCP96
     baseline's unbounded messages are surfaced.
 
-    The fabric is perfectly reliable unless an [adversary] ({!Fault.t}) is
-    interposed, in which case messages may be dropped, duplicated, or
-    delayed, and nodes may crash-stop; every injected fault is counted in
-    {!stats.faults}. Programs that must survive such an adversary should
-    be wrapped with {!Reliable.run}. *)
+    The fabric is perfectly reliable unless an adversary ({!Fault.t}) is
+    interposed via the run {!Config}, in which case messages may be
+    dropped, duplicated, or delayed, and nodes may crash-stop; every
+    injected fault is counted in {!stats.faults}. Programs that must
+    survive such an adversary should be wrapped with
+    {!Reliable.simulate}.
+
+    All run options live in one {!Config.t} record consumed by
+    {!simulate}; build one with {!Config.default} and the [with_*]
+    setters (or a record update). The old optional-argument entry point
+    {!run} remains as a deprecated shim for one release. *)
 
 exception
   Bandwidth_exceeded of {
@@ -24,7 +30,7 @@ exception
   }
 
 exception Incomplete of { max_rounds : int; running : int }
-(** Raised by [~on_incomplete:`Raise] when [max_rounds] elapse with
+(** Raised by [`Raise] on incomplete runs: [max_rounds] elapsed with
     [running] nodes still not halted (or messages still in flight). *)
 
 type ('st, 'msg) program = {
@@ -58,8 +64,58 @@ type stats = {
   faults : fault_stats;  (** {!no_faults} when no adversary was given *)
 }
 
+(** Run configuration: every knob of a simulation in one value, so entry
+    points take [?config] instead of a growing pile of optional
+    arguments, and new knobs (like tracing) do not ripple through every
+    caller's signature. *)
+module Config : sig
+  type t = {
+    max_rounds : int option;  (** [None] means [4 * n + 16] *)
+    bandwidth : int option;  (** [None] means {!Bits.bandwidth} *)
+    adversary : Fault.t option;
+    on_incomplete : [ `Ignore | `Warn | `Raise ];
+    trace : Trace.sink option;  (** event sink; [None] = tracing off *)
+  }
+
+  val default : t
+  (** No adversary, no trace, defaults for rounds/bandwidth, [`Warn]. *)
+
+  val with_max_rounds : int -> t -> t
+  val with_bandwidth : int -> t -> t
+  val with_adversary : Fault.t -> t -> t
+  val with_on_incomplete : [ `Ignore | `Warn | `Raise ] -> t -> t
+
+  val with_trace : Trace.sink -> t -> t
+  (** Setters take the configuration last for pipeline style:
+      [Config.(default |> with_max_rounds 64 |> with_trace sink)]. *)
+end
+
 val log_src : Logs.src
-(** Logs source ["congest.sim"] used by [~on_incomplete:`Warn]. *)
+(** Logs source ["congest.sim"] used by [`Warn] on incomplete runs. *)
+
+val simulate :
+  ?config:Config.t ->
+  bits:('msg -> int) ->
+  Dsgraph.Graph.t ->
+  ('st, 'msg) program ->
+  'st array * stats
+(** Runs until every node votes to halt {e and} no message is in flight,
+    or until [config.max_rounds] (default [4 * n + 16]).
+    [config.bandwidth] defaults to {!Bits.bandwidth}. Returns final
+    states (a crashed node's state is frozen at its crash round).
+
+    When the run is cut off by [max_rounds] with nodes still running or
+    messages still in flight, [config.on_incomplete] decides what
+    happens: [`Warn] (default) logs a warning on {!log_src} —
+    easy-to-miss silent truncation was a real bug source — [`Raise]
+    raises {!Incomplete}, and [`Ignore] stays silent for callers that
+    use the cutoff deliberately (Las Vegas retries, adversarial-fault
+    sweeps).
+
+    When [config.trace] holds a sink, every round boundary, message
+    event (sent / delivered / dropped / duplicated / delayed), halt and
+    crash transition, and bandwidth high-water mark is recorded in it;
+    with [trace = None] no event is allocated at all. *)
 
 val run :
   ?max_rounds:int ->
@@ -70,14 +126,7 @@ val run :
   Dsgraph.Graph.t ->
   ('st, 'msg) program ->
   'st array * stats
-(** Runs until every node votes to halt {e and} no message is in flight, or
-    until [max_rounds] (default [4 * n + 16]). [bandwidth] defaults to
-    {!Bits.bandwidth}. Returns final states (a crashed node's state is
-    frozen at its crash round).
-
-    When the run is cut off by [max_rounds] with nodes still running or
-    messages still in flight, [on_incomplete] decides what happens:
-    [`Warn] (default) logs a warning on {!log_src} — easy-to-miss silent
-    truncation was a real bug source — [`Raise] raises {!Incomplete}, and
-    [`Ignore] stays silent for callers that use the cutoff deliberately
-    (Las Vegas retries, adversarial-fault sweeps). *)
+[@@ocaml.deprecated
+  "use Sim.simulate with a Sim.Config.t (Config.default |> with_* ...)"]
+(** Deprecated optional-argument shim over {!simulate}; kept for one
+    release. Cannot attach a trace. *)

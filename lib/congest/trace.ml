@@ -1,0 +1,479 @@
+type drop_reason = Adversary | Crashed_destination
+
+type event =
+  | Round_start of { round : int }
+  | Round_end of {
+      round : int;
+      sent : int;
+      delivered : int;
+      in_flight : int;
+      halted : int;
+    }
+  | Message_sent of { round : int; src : int; dst : int; bits : int }
+  | Message_delivered of { round : int; src : int; dst : int }
+  | Message_dropped of {
+      round : int;
+      src : int;
+      dst : int;
+      reason : drop_reason;
+    }
+  | Message_duplicated of {
+      round : int;
+      src : int;
+      dst : int;
+      copy_delay : int;
+    }
+  | Message_delayed of { round : int; src : int; dst : int; delay : int }
+  | Node_halted of { round : int; node : int }
+  | Node_crashed of { round : int; node : int }
+  | Bandwidth_high_water of { round : int; node : int; bits : int }
+  | Cost_charged of {
+      tag : string;
+      rounds : int;
+      messages : int;
+      max_bits : int;
+    }
+
+(* Events are stored packed, [stride] immediate ints per event (kind code
+   + up to 5 payload fields), in one flat [int array]. Recording is then a
+   handful of unboxed stores: no per-event heap block, no write barrier,
+   no GC pressure from a hot simulator loop — this is what keeps the
+   sink-attached overhead within the few-percent budget. [Cost_charged]
+   tags (the only non-int payload) are interned in a side table. Events
+   are materialized back into the variant type lazily on read. *)
+
+let stride = 6
+
+type sink = {
+  mutable buf : int array;
+  mutable off : int;  (* next write offset = stride * events stored *)
+  limit : int;  (* stride * maximum events *)
+  mutable dropped : int;
+  mutable tags : string array;
+  mutable ntags : int;
+  tag_index : (string, int) Hashtbl.t;
+}
+
+(* kind codes; [decode] below is the single reader *)
+let k_round_start = 0
+let k_round_end = 1
+let k_message_sent = 2
+let k_message_delivered = 3
+let k_message_dropped = 4
+let k_message_duplicated = 5
+let k_message_delayed = 6
+let k_node_halted = 7
+let k_node_crashed = 8
+let k_bandwidth_high_water = 9
+let k_cost_charged = 10
+
+let sink ?(capacity = 1_000_000) () =
+  if capacity < 1 then invalid_arg "Trace.sink: capacity must be positive";
+  {
+    buf = Array.make (stride * min capacity 256) 0;
+    off = 0;
+    limit = stride * capacity;
+    dropped = 0;
+    tags = [||];
+    ntags = 0;
+    tag_index = Hashtbl.create 8;
+  }
+
+let grow s off =
+  let grown = Array.make (min s.limit (2 * Array.length s.buf)) 0 in
+  Array.blit s.buf 0 grown 0 off;
+  s.buf <- grown
+
+let[@inline] slot s =
+  let off = s.off in
+  if off >= s.limit then (
+    s.dropped <- s.dropped + 1;
+    -1)
+  else begin
+    if off = Array.length s.buf then grow s off;
+    s.off <- off + stride;
+    off
+  end
+
+(* [slot] has bounds-checked the whole stride, so unsafe stores are fine *)
+let[@inline] emit_message_sent s ~round ~src ~dst ~bits =
+  let off = slot s in
+  if off >= 0 then begin
+    let buf = s.buf in
+    Array.unsafe_set buf off k_message_sent;
+    Array.unsafe_set buf (off + 1) round;
+    Array.unsafe_set buf (off + 2) src;
+    Array.unsafe_set buf (off + 3) dst;
+    Array.unsafe_set buf (off + 4) bits
+  end
+
+let[@inline] emit_message_delivered s ~round ~src ~dst =
+  let off = slot s in
+  if off >= 0 then begin
+    let buf = s.buf in
+    Array.unsafe_set buf off k_message_delivered;
+    Array.unsafe_set buf (off + 1) round;
+    Array.unsafe_set buf (off + 2) src;
+    Array.unsafe_set buf (off + 3) dst
+  end
+
+let tag_id s tag =
+  match Hashtbl.find_opt s.tag_index tag with
+  | Some i -> i
+  | None ->
+      let i = s.ntags in
+      if i = Array.length s.tags then begin
+        let grown = Array.make (max 8 (2 * i)) "" in
+        Array.blit s.tags 0 grown 0 i;
+        s.tags <- grown
+      end;
+      s.tags.(i) <- tag;
+      s.ntags <- i + 1;
+      Hashtbl.add s.tag_index tag i;
+      i
+
+let record s ev =
+  let off = slot s in
+  if off >= 0 then begin
+    let buf = s.buf in
+    let set k a b c d e =
+      buf.(off) <- k;
+      buf.(off + 1) <- a;
+      buf.(off + 2) <- b;
+      buf.(off + 3) <- c;
+      buf.(off + 4) <- d;
+      buf.(off + 5) <- e
+    in
+    match ev with
+    | Round_start { round } -> set k_round_start round 0 0 0 0
+    | Round_end { round; sent; delivered; in_flight; halted } ->
+        set k_round_end round sent delivered in_flight halted
+    | Message_sent { round; src; dst; bits } ->
+        set k_message_sent round src dst bits 0
+    | Message_delivered { round; src; dst } ->
+        set k_message_delivered round src dst 0 0
+    | Message_dropped { round; src; dst; reason } ->
+        set k_message_dropped round src dst
+          (match reason with Adversary -> 0 | Crashed_destination -> 1)
+          0
+    | Message_duplicated { round; src; dst; copy_delay } ->
+        set k_message_duplicated round src dst copy_delay 0
+    | Message_delayed { round; src; dst; delay } ->
+        set k_message_delayed round src dst delay 0
+    | Node_halted { round; node } -> set k_node_halted round node 0 0 0
+    | Node_crashed { round; node } -> set k_node_crashed round node 0 0 0
+    | Bandwidth_high_water { round; node; bits } ->
+        set k_bandwidth_high_water round node bits 0 0
+    | Cost_charged { tag; rounds; messages; max_bits } ->
+        set k_cost_charged (tag_id s tag) rounds messages max_bits 0
+  end
+
+let decode s i =
+  let off = stride * i in
+  let buf = s.buf in
+  let a = buf.(off + 1)
+  and b = buf.(off + 2)
+  and c = buf.(off + 3)
+  and d = buf.(off + 4)
+  and e = buf.(off + 5) in
+  let k = buf.(off) in
+  if k = k_round_start then Round_start { round = a }
+  else if k = k_round_end then
+    Round_end { round = a; sent = b; delivered = c; in_flight = d; halted = e }
+  else if k = k_message_sent then
+    Message_sent { round = a; src = b; dst = c; bits = d }
+  else if k = k_message_delivered then
+    Message_delivered { round = a; src = b; dst = c }
+  else if k = k_message_dropped then
+    Message_dropped
+      {
+        round = a;
+        src = b;
+        dst = c;
+        reason = (if d = 0 then Adversary else Crashed_destination);
+      }
+  else if k = k_message_duplicated then
+    Message_duplicated { round = a; src = b; dst = c; copy_delay = d }
+  else if k = k_message_delayed then
+    Message_delayed { round = a; src = b; dst = c; delay = d }
+  else if k = k_node_halted then Node_halted { round = a; node = b }
+  else if k = k_node_crashed then Node_crashed { round = a; node = b }
+  else if k = k_bandwidth_high_water then
+    Bandwidth_high_water { round = a; node = b; bits = c }
+  else Cost_charged { tag = s.tags.(a); rounds = b; messages = c; max_bits = d }
+
+let length s = s.off / stride
+let truncated s = s.dropped
+let events s = List.init (length s) (decode s)
+
+let iter f s =
+  for i = 0 to length s - 1 do
+    f (decode s i)
+  done
+
+let clear s =
+  s.off <- 0;
+  s.dropped <- 0;
+  s.ntags <- 0;
+  Hashtbl.reset s.tag_index
+
+let reason_label = function
+  | Adversary -> "adversary"
+  | Crashed_destination -> "crashed_dst"
+
+let pp_event ppf = function
+  | Round_start { round } -> Format.fprintf ppf "round %d start" round
+  | Round_end { round; sent; delivered; in_flight; halted } ->
+      Format.fprintf ppf
+        "round %d end: %d sent, %d delivered, %d in flight, %d halted" round
+        sent delivered in_flight halted
+  | Message_sent { round; src; dst; bits } ->
+      Format.fprintf ppf "r%d: %d -> %d (%d bits)" round src dst bits
+  | Message_delivered { round; src; dst } ->
+      Format.fprintf ppf "r%d: %d -> %d delivered" round src dst
+  | Message_dropped { round; src; dst; reason } ->
+      Format.fprintf ppf "r%d: %d -> %d dropped (%s)" round src dst
+        (reason_label reason)
+  | Message_duplicated { round; src; dst; copy_delay } ->
+      Format.fprintf ppf "r%d: %d -> %d duplicated (+%d rounds)" round src dst
+        copy_delay
+  | Message_delayed { round; src; dst; delay } ->
+      Format.fprintf ppf "r%d: %d -> %d delayed (+%d rounds)" round src dst
+        delay
+  | Node_halted { round; node } ->
+      Format.fprintf ppf "r%d: node %d halted" round node
+  | Node_crashed { round; node } ->
+      Format.fprintf ppf "r%d: node %d crashed" round node
+  | Bandwidth_high_water { round; node; bits } ->
+      Format.fprintf ppf "r%d: node %d high-water %d bits" round node bits
+  | Cost_charged { tag; rounds; messages; max_bits } ->
+      Format.fprintf ppf "cost %s: +%d rounds, +%d messages, max %d bits" tag
+        rounds messages max_bits
+
+(* hand-rolled JSONL: no JSON library in the dependency set, and the
+   emitted shapes are flat objects of ints plus one escaped string *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_to_jsonl = function
+  | Round_start { round } ->
+      Printf.sprintf {|{"ev":"round_start","round":%d}|} round
+  | Round_end { round; sent; delivered; in_flight; halted } ->
+      Printf.sprintf
+        {|{"ev":"round_end","round":%d,"sent":%d,"delivered":%d,"in_flight":%d,"halted":%d}|}
+        round sent delivered in_flight halted
+  | Message_sent { round; src; dst; bits } ->
+      Printf.sprintf
+        {|{"ev":"message_sent","round":%d,"src":%d,"dst":%d,"bits":%d}|} round
+        src dst bits
+  | Message_delivered { round; src; dst } ->
+      Printf.sprintf
+        {|{"ev":"message_delivered","round":%d,"src":%d,"dst":%d}|} round src
+        dst
+  | Message_dropped { round; src; dst; reason } ->
+      Printf.sprintf
+        {|{"ev":"message_dropped","round":%d,"src":%d,"dst":%d,"reason":"%s"}|}
+        round src dst (reason_label reason)
+  | Message_duplicated { round; src; dst; copy_delay } ->
+      Printf.sprintf
+        {|{"ev":"message_duplicated","round":%d,"src":%d,"dst":%d,"copy_delay":%d}|}
+        round src dst copy_delay
+  | Message_delayed { round; src; dst; delay } ->
+      Printf.sprintf
+        {|{"ev":"message_delayed","round":%d,"src":%d,"dst":%d,"delay":%d}|}
+        round src dst delay
+  | Node_halted { round; node } ->
+      Printf.sprintf {|{"ev":"node_halted","round":%d,"node":%d}|} round node
+  | Node_crashed { round; node } ->
+      Printf.sprintf {|{"ev":"node_crashed","round":%d,"node":%d}|} round node
+  | Bandwidth_high_water { round; node; bits } ->
+      Printf.sprintf
+        {|{"ev":"bandwidth_high_water","round":%d,"node":%d,"bits":%d}|} round
+        node bits
+  | Cost_charged { tag; rounds; messages; max_bits } ->
+      Printf.sprintf
+        {|{"ev":"cost_charged","tag":"%s","rounds":%d,"messages":%d,"max_bits":%d}|}
+        (escape tag) rounds messages max_bits
+
+(* minimal field extraction matching the printer above; tolerant of
+   whitespace after ':' so externally pretty-printed lines also parse *)
+
+let find_key line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and llen = String.length line in
+  let rec go i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else go (i + 1)
+  in
+  go 0
+
+let skip_ws line i =
+  let j = ref i in
+  while !j < String.length line && (line.[!j] = ' ' || line.[!j] = '\t') do
+    incr j
+  done;
+  !j
+
+let field_int line key =
+  match find_key line key with
+  | None -> Error (Printf.sprintf "missing int field %S in %s" key line)
+  | Some i ->
+      let i = skip_ws line i in
+      let j = ref i in
+      if !j < String.length line && line.[!j] = '-' then incr j;
+      let digits = ref 0 in
+      while
+        !j < String.length line && line.[!j] >= '0' && line.[!j] <= '9'
+      do
+        incr j;
+        incr digits
+      done;
+      if !digits = 0 then
+        Error (Printf.sprintf "field %S is not an int in %s" key line)
+      else Ok (int_of_string (String.sub line i (!j - i)))
+
+let field_string line key =
+  match find_key line key with
+  | None -> Error (Printf.sprintf "missing string field %S in %s" key line)
+  | Some i ->
+      let i = skip_ws line i in
+      if i >= String.length line || line.[i] <> '"' then
+        Error (Printf.sprintf "field %S is not a string in %s" key line)
+      else begin
+        let b = Buffer.create 16 in
+        let j = ref (i + 1) in
+        let closed = ref false in
+        while (not !closed) && !j < String.length line do
+          (match line.[!j] with
+          | '\\' when !j + 1 < String.length line ->
+              incr j;
+              Buffer.add_char b
+                (match line.[!j] with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | c -> c)
+          | '"' -> closed := true
+          | c -> Buffer.add_char b c);
+          incr j
+        done;
+        if !closed then Ok (Buffer.contents b)
+        else Error (Printf.sprintf "unterminated string %S in %s" key line)
+      end
+
+let ( let* ) r f = Result.bind r f
+
+let event_of_jsonl line =
+  let* ev = field_string line "ev" in
+  match ev with
+  | "round_start" ->
+      let* round = field_int line "round" in
+      Ok (Round_start { round })
+  | "round_end" ->
+      let* round = field_int line "round" in
+      let* sent = field_int line "sent" in
+      let* delivered = field_int line "delivered" in
+      let* in_flight = field_int line "in_flight" in
+      let* halted = field_int line "halted" in
+      Ok (Round_end { round; sent; delivered; in_flight; halted })
+  | "message_sent" ->
+      let* round = field_int line "round" in
+      let* src = field_int line "src" in
+      let* dst = field_int line "dst" in
+      let* bits = field_int line "bits" in
+      Ok (Message_sent { round; src; dst; bits })
+  | "message_delivered" ->
+      let* round = field_int line "round" in
+      let* src = field_int line "src" in
+      let* dst = field_int line "dst" in
+      Ok (Message_delivered { round; src; dst })
+  | "message_dropped" ->
+      let* round = field_int line "round" in
+      let* src = field_int line "src" in
+      let* dst = field_int line "dst" in
+      let* reason = field_string line "reason" in
+      let* reason =
+        match reason with
+        | "adversary" -> Ok Adversary
+        | "crashed_dst" -> Ok Crashed_destination
+        | r -> Error (Printf.sprintf "unknown drop reason %S" r)
+      in
+      Ok (Message_dropped { round; src; dst; reason })
+  | "message_duplicated" ->
+      let* round = field_int line "round" in
+      let* src = field_int line "src" in
+      let* dst = field_int line "dst" in
+      let* copy_delay = field_int line "copy_delay" in
+      Ok (Message_duplicated { round; src; dst; copy_delay })
+  | "message_delayed" ->
+      let* round = field_int line "round" in
+      let* src = field_int line "src" in
+      let* dst = field_int line "dst" in
+      let* delay = field_int line "delay" in
+      Ok (Message_delayed { round; src; dst; delay })
+  | "node_halted" ->
+      let* round = field_int line "round" in
+      let* node = field_int line "node" in
+      Ok (Node_halted { round; node })
+  | "node_crashed" ->
+      let* round = field_int line "round" in
+      let* node = field_int line "node" in
+      Ok (Node_crashed { round; node })
+  | "bandwidth_high_water" ->
+      let* round = field_int line "round" in
+      let* node = field_int line "node" in
+      let* bits = field_int line "bits" in
+      Ok (Bandwidth_high_water { round; node; bits })
+  | "cost_charged" ->
+      let* tag = field_string line "tag" in
+      let* rounds = field_int line "rounds" in
+      let* messages = field_int line "messages" in
+      let* max_bits = field_int line "max_bits" in
+      Ok (Cost_charged { tag; rounds; messages; max_bits })
+  | ev -> Error (Printf.sprintf "unknown event kind %S" ev)
+
+let to_jsonl s =
+  let b = Buffer.create (64 * (1 + length s)) in
+  iter
+    (fun ev ->
+      Buffer.add_string b (event_to_jsonl ev);
+      Buffer.add_char b '\n')
+    s;
+  Buffer.contents b
+
+let of_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go acc rest
+        else begin
+          match event_of_jsonl line with
+          | Ok ev -> go (ev :: acc) rest
+          | Error e -> Error e
+        end
+  in
+  go [] lines
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let save ?(dir = "bench_results") ~file s =
+  ensure_dir dir;
+  let path = Filename.concat dir file in
+  let oc = open_out path in
+  output_string oc (to_jsonl s);
+  close_out oc;
+  path

@@ -1,0 +1,107 @@
+(** Round-level event tracing for the CONGEST simulator.
+
+    A {!sink} is an in-memory event buffer that {!Sim.simulate},
+    {!Reliable.simulate}, and {!Cost.charge} report into when one is
+    attached via {!Sim.Config.with_trace} (or [Cost.create ~trace]).
+    Tracing is strictly opt-in and zero-cost when off: every emission
+    site in the simulator is guarded by a [match sink with None -> ()]
+    so that no event value is ever allocated unless a sink is attached.
+
+    Events mirror the simulator's own accounting, so a trace can be
+    checked against {!Sim.stats}: the number of [Message_sent] events
+    equals [stats.total_messages], [Message_dropped] events equal
+    [stats.faults.dropped], and [Round_start] events equal
+    [stats.rounds_used] (test/test_trace.ml asserts exactly this).
+
+    The JSONL emitters are hand-rolled (no JSON dependency): one object
+    per line with a fixed field order, parseable by {!event_of_jsonl}
+    and by any standard JSON reader. *)
+
+type drop_reason =
+  | Adversary  (** iid or burst loss injected by {!Fault.fate} *)
+  | Crashed_destination  (** destination had crash-stopped *)
+
+type event =
+  | Round_start of { round : int }
+  | Round_end of {
+      round : int;
+      sent : int;  (** program messages sent this round *)
+      delivered : int;  (** messages moved into inboxes this round *)
+      in_flight : int;  (** messages still scheduled for later rounds *)
+      halted : int;  (** nodes currently voting to halt *)
+    }
+  | Message_sent of { round : int; src : int; dst : int; bits : int }
+  | Message_delivered of { round : int; src : int; dst : int }
+  | Message_dropped of {
+      round : int;
+      src : int;
+      dst : int;
+      reason : drop_reason;
+    }
+  | Message_duplicated of {
+      round : int;
+      src : int;
+      dst : int;
+      copy_delay : int;  (** extra rounds before the injected copy lands *)
+    }
+  | Message_delayed of { round : int; src : int; dst : int; delay : int }
+  | Node_halted of { round : int; node : int }
+      (** emitted on the transition into a halt vote only *)
+  | Node_crashed of { round : int; node : int }
+  | Bandwidth_high_water of { round : int; node : int; bits : int }
+      (** a message strictly larger than any earlier one in the run *)
+  | Cost_charged of {
+      tag : string;
+      rounds : int;
+      messages : int;
+      max_bits : int;
+    }  (** step-granular {!Cost.charge} accounting, for engine-level runs *)
+
+type sink
+
+val sink : ?capacity:int -> unit -> sink
+(** Fresh empty sink. At most [capacity] events are retained (default
+    1_000_000); later events are counted in {!truncated} but not stored,
+    bounding memory on very long runs. *)
+
+val record : sink -> event -> unit
+
+val emit_message_sent :
+  sink -> round:int -> src:int -> dst:int -> bits:int -> unit
+(** Equivalent to recording a {!constructor-Message_sent} event, but
+    without constructing one. Events are stored packed as immediate
+    ints, so this is a handful of unboxed stores with no allocation —
+    the form the simulator uses on its per-message hot path. *)
+
+val emit_message_delivered : sink -> round:int -> src:int -> dst:int -> unit
+(** As {!emit_message_sent}, for {!constructor-Message_delivered}. *)
+
+val length : sink -> int
+
+val truncated : sink -> int
+(** Events discarded because the sink hit its capacity. *)
+
+val events : sink -> event list
+(** All retained events in emission order. *)
+
+val iter : (event -> unit) -> sink -> unit
+val clear : sink -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+val event_to_jsonl : event -> string
+(** One JSON object, no trailing newline, fields in a fixed order, e.g.
+    [{"ev":"message_sent","round":3,"src":0,"dst":5,"bits":14}]. *)
+
+val event_of_jsonl : string -> (event, string) result
+(** Inverse of {!event_to_jsonl}; [Error] describes the first problem. *)
+
+val to_jsonl : sink -> string
+(** All retained events, one per line, each line ending in ['\n']. *)
+
+val of_jsonl : string -> (event list, string) result
+(** Parses the output of {!to_jsonl} (blank lines are skipped). *)
+
+val save : ?dir:string -> file:string -> sink -> string
+(** Writes {!to_jsonl} to [dir/file] (default dir ["bench_results"],
+    created if missing) and returns the path written. *)

@@ -54,7 +54,7 @@ let bfs_stage g ~mask ~source =
             else (state, [], true));
     }
   in
-  let states, stats = Congest.Sim.run ~bits:(fun _ -> msg_bits) g program in
+  let states, stats = Congest.Sim.simulate ~bits:(fun _ -> msg_bits) g program in
   ( Array.map (fun s -> s.dist) states,
     Array.map (fun s -> s.parent) states,
     stats )
@@ -117,7 +117,7 @@ let pair_counts_stage g ~parent ~contrib =
     }
   in
   let states, stats =
-    Congest.Sim.run
+    Congest.Sim.simulate
       ~bits:(fun m -> match m with Child -> 1 | Pair _ -> msg_bits)
       g program
   in
@@ -159,7 +159,7 @@ let broadcast_stage g ~parent ~root ~value =
             else (state, [], state.value >= 0));
     }
   in
-  let states, stats = Congest.Sim.run ~bits:(fun _ -> msg_bits) g program in
+  let states, stats = Congest.Sim.simulate ~bits:(fun _ -> msg_bits) g program in
   (Array.map (fun s -> s.value) states, stats)
 
 (* ------------------------------------------------------------------ *)

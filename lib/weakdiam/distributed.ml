@@ -339,11 +339,18 @@ let build ?(preset = Weak_carving.default_preset) ?domain g ~epsilon =
     b_max_rounds = max_rounds;
   }
 
-let carve ?preset ?domain g ~epsilon =
+let carve ?preset ?domain ?trace g ~epsilon =
   let b = build ?preset ?domain g ~epsilon in
+  let config =
+    {
+      Congest.Sim.Config.default with
+      max_rounds = Some b.b_max_rounds;
+      bandwidth = Some b.b_bandwidth;
+      trace;
+    }
+  in
   let states, sim_stats =
-    Congest.Sim.run ~max_rounds:b.b_max_rounds ~bandwidth:b.b_bandwidth
-      ~bits:b.b_bits g b.b_program
+    Congest.Sim.simulate ~config ~bits:b.b_bits g b.b_program
   in
   let cluster_of = Array.map (fun st -> st.label) states in
   let clustering = Cluster.Clustering.make g ~cluster_of in
@@ -370,24 +377,36 @@ type reliable_result = {
   r_engine : Weak_carving.result;
 }
 
-let carve_reliable ?adversary ?(liveness_timeout = 64) ?preset ?domain g
-    ~epsilon =
+let carve_reliable ?adversary ?(liveness_timeout = 64) ?preset ?domain ?trace
+    g ~epsilon =
   let b = build ?preset ?domain g ~epsilon in
   (* Sizing oracle: the program is deterministic, so a fault-free run
      tells us exactly how many inner rounds the computation needs; the
      wrapper then executes that many plus slack. Running the program value
      twice is safe — [init] builds fresh state each run. *)
+  let oracle_config =
+    {
+      Congest.Sim.Config.default with
+      max_rounds = Some b.b_max_rounds;
+      bandwidth = Some b.b_bandwidth;
+    }
+  in
   let _, oracle_stats =
-    Congest.Sim.run ~max_rounds:b.b_max_rounds ~bandwidth:b.b_bandwidth
-      ~bits:b.b_bits g b.b_program
+    Congest.Sim.simulate ~config:oracle_config ~bits:b.b_bits g b.b_program
   in
   let oracle_rounds = oracle_stats.Congest.Sim.rounds_used in
   let inner_rounds = oracle_rounds + b.b_step_budget + 8 in
   let cfg = Congest.Reliable.config ~inner_rounds ~liveness_timeout () in
-  let r =
-    Congest.Reliable.run ?adversary ~on_incomplete:`Ignore
-      ~bandwidth:b.b_bandwidth cfg ~bits:b.b_bits g b.b_program
+  let sim =
+    {
+      Congest.Sim.Config.default with
+      adversary;
+      on_incomplete = `Ignore;
+      bandwidth = Some b.b_bandwidth;
+      trace;
+    }
   in
+  let r = Congest.Reliable.simulate ~sim cfg ~bits:b.b_bits g b.b_program in
   let cluster_of =
     Array.map (fun st -> st.label) r.Congest.Reliable.states
   in

@@ -33,12 +33,14 @@ type result = {
 val carve :
   ?preset:Weak_carving.preset ->
   ?domain:Dsgraph.Mask.t ->
+  ?trace:Congest.Trace.sink ->
   Dsgraph.Graph.t ->
   epsilon:float ->
   result
 (** Runs the engine (for the schedule and as the comparison oracle), then
     the full synchronous simulation. [result.carving] is built from the
-    {e simulated} node states. *)
+    {e simulated} node states. A [trace] sink observes the simulated
+    rounds and messages. *)
 
 val matches_engine : result -> bool
 (** True iff the simulated clustering equals the engine's exactly
@@ -65,6 +67,7 @@ val carve_reliable :
   ?liveness_timeout:int ->
   ?preset:Weak_carving.preset ->
   ?domain:Dsgraph.Mask.t ->
+  ?trace:Congest.Trace.sink ->
   Dsgraph.Graph.t ->
   epsilon:float ->
   reliable_result

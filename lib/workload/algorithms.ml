@@ -3,27 +3,26 @@ open Dsgraph
 type kind = Weak | Strong
 type model = Deterministic | Randomized
 
-type decomposer = {
+type 'run t = {
   name : string;
   reference : string;
   kind : kind;
   model : model;
-  run :
-    cost:Congest.Cost.t -> seed:int -> Dsgraph.Graph.t -> Cluster.Decomposition.t;
+  run : 'run;
 }
 
-type carver = {
-  c_name : string;
-  c_reference : string;
-  c_kind : kind;
-  c_model : model;
-  c_run :
-    cost:Congest.Cost.t ->
-    seed:int ->
-    Dsgraph.Graph.t ->
-    epsilon:float ->
-    Cluster.Carving.t;
-}
+type decompose_run =
+  cost:Congest.Cost.t -> seed:int -> Dsgraph.Graph.t -> Cluster.Decomposition.t
+
+type carve_run =
+  cost:Congest.Cost.t ->
+  seed:int ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t
+
+type decomposer = decompose_run t
+type carver = carve_run t
 
 let decomposers =
   [
@@ -125,20 +124,20 @@ let decomposers =
 let carvers =
   [
     {
-      c_name = "ls93";
-      c_reference = "[LS93] weak randomized";
-      c_kind = Weak;
-      c_model = Randomized;
-      c_run =
+      name = "ls93";
+      reference = "[LS93] weak randomized";
+      kind = Weak;
+      model = Randomized;
+      run =
         (fun ~cost ~seed g ~epsilon ->
           Baseline.Linial_saks.carve ~cost (Rng.create seed) g ~epsilon);
     };
     {
-      c_name = "rg20";
-      c_reference = "[RG20] weak deterministic";
-      c_kind = Weak;
-      c_model = Deterministic;
-      c_run =
+      name = "rg20";
+      reference = "[RG20] weak deterministic";
+      kind = Weak;
+      model = Deterministic;
+      run =
         (fun ~cost ~seed:_ g ~epsilon ->
           let r =
             Weakdiam.Weak_carving.carve ~preset:Weakdiam.Weak_carving.Rg20 ~cost
@@ -147,11 +146,11 @@ let carvers =
           r.carving);
     };
     {
-      c_name = "ggr21";
-      c_reference = "[GGR21] weak deterministic";
-      c_kind = Weak;
-      c_model = Deterministic;
-      c_run =
+      name = "ggr21";
+      reference = "[GGR21] weak deterministic";
+      kind = Weak;
+      model = Deterministic;
+      run =
         (fun ~cost ~seed:_ g ~epsilon ->
           let r =
             Weakdiam.Weak_carving.carve ~preset:Weakdiam.Weak_carving.Ggr21
@@ -160,42 +159,43 @@ let carvers =
           r.carving);
     };
     {
-      c_name = "mpx";
-      c_reference = "[MPX13,EN16] strong randomized";
-      c_kind = Strong;
-      c_model = Randomized;
-      c_run =
+      name = "mpx";
+      reference = "[MPX13,EN16] strong randomized";
+      kind = Strong;
+      model = Randomized;
+      run =
         (fun ~cost ~seed g ~epsilon ->
           Baseline.Mpx.carve ~cost (Rng.create seed) g ~epsilon);
     };
     {
-      c_name = "thm2.1+ls";
-      c_reference = "THIS PAPER Thm 2.1 over randomized [LS93]";
-      c_kind = Strong;
-      c_model = Randomized;
-      c_run =
+      name = "thm2.1+ls";
+      reference = "THIS PAPER Thm 2.1 over randomized [LS93]";
+      kind = Strong;
+      model = Randomized;
+      run =
         (fun ~cost ~seed g ~epsilon ->
           fst (Baseline.Ls_transform.carve ~cost (Rng.create seed) g ~epsilon));
     };
     {
-      c_name = "thm2.2";
-      c_reference = "THIS PAPER Thm 2.2: strong deterministic";
-      c_kind = Strong;
-      c_model = Deterministic;
-      c_run =
+      name = "thm2.2";
+      reference = "THIS PAPER Thm 2.2: strong deterministic";
+      kind = Strong;
+      model = Deterministic;
+      run =
         (fun ~cost ~seed:_ g ~epsilon ->
           fst (Strongdecomp.Strong_carving.carve ~cost g ~epsilon));
     };
     {
-      c_name = "thm3.3";
-      c_reference = "THIS PAPER Thm 3.3: strong det, improved diameter";
-      c_kind = Strong;
-      c_model = Deterministic;
-      c_run =
+      name = "thm3.3";
+      reference = "THIS PAPER Thm 3.3: strong det, improved diameter";
+      kind = Strong;
+      model = Deterministic;
+      run =
         (fun ~cost ~seed:_ g ~epsilon ->
           fst (Strongdecomp.Strong_carving.carve_improved ~cost g ~epsilon));
     };
   ]
 
-let find_decomposer name = List.find (fun d -> d.name = name) decomposers
-let find_carver name = List.find (fun c -> c.c_name = name) carvers
+let find_decomposer name =
+  List.find (fun (d : decomposer) -> d.name = name) decomposers
+let find_carver name = List.find (fun c -> c.name = name) carvers

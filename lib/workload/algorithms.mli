@@ -1,31 +1,36 @@
 (** Registry of every decomposition / carving algorithm in the repository,
     under one uniform signature, keyed by the Table 1 / Table 2 rows they
-    reproduce. *)
+    reproduce.
+
+    Both tables share one polymorphic entry record {!type-t}: the metadata
+    fields ([name], [reference], [kind], [model]) are common, and only the
+    [run] field's type differs between decomposers and carvers. This
+    replaces the former pair of records whose carver half duplicated every
+    field under a [c_] prefix. *)
 
 type kind = Weak | Strong
 type model = Deterministic | Randomized
 
-type decomposer = {
+type 'run t = {
   name : string;  (** row key, e.g. "thm2.3" *)
   reference : string;  (** the paper row it reproduces, e.g. "[RG20]" *)
   kind : kind;
   model : model;
-  run :
-    cost:Congest.Cost.t -> seed:int -> Dsgraph.Graph.t -> Cluster.Decomposition.t;
+  run : 'run;
 }
 
-type carver = {
-  c_name : string;
-  c_reference : string;
-  c_kind : kind;
-  c_model : model;
-  c_run :
-    cost:Congest.Cost.t ->
-    seed:int ->
-    Dsgraph.Graph.t ->
-    epsilon:float ->
-    Cluster.Carving.t;
-}
+type decompose_run =
+  cost:Congest.Cost.t -> seed:int -> Dsgraph.Graph.t -> Cluster.Decomposition.t
+
+type carve_run =
+  cost:Congest.Cost.t ->
+  seed:int ->
+  Dsgraph.Graph.t ->
+  epsilon:float ->
+  Cluster.Carving.t
+
+type decomposer = decompose_run t
+type carver = carve_run t
 
 val decomposers : decomposer list
 (** All Table 1 rows: LS93, RG20, GGR21 (weak); MPX/EN16, AGLP89, Gha19,
@@ -37,4 +42,7 @@ val carvers : carver list
     over LS93, Theorem 2.2, Theorem 3.3 (strong). *)
 
 val find_decomposer : string -> decomposer
+(** @raise Not_found on an unknown name. *)
+
 val find_carver : string -> carver
+(** @raise Not_found on an unknown name. *)

@@ -81,7 +81,7 @@ let adversary_for sc ~crashes =
 let recovery_adversary sc =
   Fault.create (Fault.spec ~seed:(sc.seed + 1) ~drop:sc.drop ())
 
-let run sc =
+let run ?trace sc =
   let fam = Suite.find sc.family in
   let g = fam.Suite.build ~seed:sc.seed ~n:sc.n in
   let n = Graph.n g in
@@ -96,7 +96,7 @@ let run sc =
       in
       let adv = adversary_for sc ~crashes in
       let r =
-        Baseline.Ls_distributed.attempt_reliable ~adversary:adv
+        Baseline.Ls_distributed.attempt_reliable ~adversary:adv ?trace
           (Rng.create sc.seed) g ~epsilon:sc.epsilon
       in
       let survivors = survivors_of n r.Baseline.Ls_distributed.crashed in
@@ -156,7 +156,7 @@ let run sc =
       let base_stats = base.Weakdiam.Distributed.sim_stats in
       let adv = adversary_for sc ~crashes in
       let r =
-        Weakdiam.Distributed.carve_reliable ~adversary:adv g
+        Weakdiam.Distributed.carve_reliable ~adversary:adv ?trace g
           ~epsilon:sc.epsilon
       in
       let survivors = survivors_of n r.Weakdiam.Distributed.crashed in

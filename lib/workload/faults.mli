@@ -52,8 +52,11 @@ type row = {
   recovery_rounds : int;  (** 0 when no recovery run was needed *)
 }
 
-val run : scenario -> row
-(** Executes the scenario. @raise Not_found on an unknown family. *)
+val run : ?trace:Congest.Trace.sink -> scenario -> row
+(** Executes the scenario. The optional sink observes the faulty
+    (wrapped) run — not the fault-free baseline or any recovery re-run —
+    so its dropped/duplicated/delayed event counts line up with the
+    row's fault tallies. @raise Not_found on an unknown family. *)
 
 val sweep :
   ?drops:float list ->

@@ -9,13 +9,14 @@ type decomp_row = {
   n : int;
   m : int;
   colors : int;
-  strong_diameter : int;
+  strong_diameter : int option;
   weak_diameter : int;
   rounds : int;
   messages : int;
   max_message_bits : int;
   valid : bool;
   seconds : float;
+  trace : Congest.Trace.sink option;
 }
 
 type carve_row = {
@@ -25,31 +26,38 @@ type carve_row = {
   c_family : string;
   c_n : int;
   c_epsilon : float;
-  c_strong_diameter : int;
+  c_strong_diameter : int option;
   c_weak_diameter : int;
   c_dead_fraction : float;
   c_rounds : int;
   c_max_message_bits : int;
   c_valid : bool;
   c_seconds : float;
+  c_trace : Congest.Trace.sink option;
 }
 
-let decomposition_row ?(seed = 42) (d : Algorithms.decomposer) family ~n =
+(* the clustering estimators use -1 as "no strong diameter exists" *)
+let diameter_opt d = if d < 0 then None else Some d
+
+let decomposition_row ?(seed = 42) ?trace (d : Algorithms.decomposer) family
+    ~n =
   let g = family.Suite.build ~seed ~n in
-  let cost = Congest.Cost.create () in
+  let cost = Congest.Cost.create ?trace () in
   let t0 = Unix.gettimeofday () in
   let decomp = d.run ~cost ~seed g in
   let seconds = Unix.gettimeofday () -. t0 in
   let clustering = Cluster.Decomposition.clustering decomp in
   let colors = Cluster.Decomposition.num_colors decomp in
-  let strong_diameter = Cluster.Clustering.max_strong_diameter_estimate clustering in
+  let strong_diameter =
+    diameter_opt (Cluster.Clustering.max_strong_diameter_estimate clustering)
+  in
   let weak_diameter = Cluster.Clustering.max_weak_diameter_estimate clustering in
   let valid =
     match Cluster.Decomposition.check decomp with
     | Ok () -> (
         match d.kind with
         | Algorithms.Weak -> weak_diameter >= 0
-        | Algorithms.Strong -> strong_diameter >= 0)
+        | Algorithms.Strong -> strong_diameter <> None)
     | Error _ -> false
   in
   {
@@ -68,21 +76,23 @@ let decomposition_row ?(seed = 42) (d : Algorithms.decomposer) family ~n =
     max_message_bits = Congest.Cost.max_message_bits cost;
     valid;
     seconds;
+    trace;
   }
 
-let carving_row ?(seed = 42) (c : Algorithms.carver) family ~n ~epsilon =
+let carving_row ?(seed = 42) ?trace (c : Algorithms.carver) family ~n ~epsilon
+    =
   let g = family.Suite.build ~seed ~n in
-  let cost = Congest.Cost.create () in
+  let cost = Congest.Cost.create ?trace () in
   let t0 = Unix.gettimeofday () in
-  let carving = c.c_run ~cost ~seed g ~epsilon in
+  let carving = c.run ~cost ~seed g ~epsilon in
   let c_seconds = Unix.gettimeofday () -. t0 in
   let clustering = carving.Cluster.Carving.clustering in
   let c_strong_diameter =
-    Cluster.Clustering.max_strong_diameter_estimate clustering
+    diameter_opt (Cluster.Clustering.max_strong_diameter_estimate clustering)
   in
   let c_weak_diameter = Cluster.Clustering.max_weak_diameter_estimate clustering in
   let c_valid =
-    match c.c_kind with
+    match c.kind with
     | Algorithms.Weak -> (
         match Cluster.Carving.check_weak ~epsilon carving with
         | Ok () -> c_weak_diameter >= 0
@@ -93,9 +103,9 @@ let carving_row ?(seed = 42) (c : Algorithms.carver) family ~n ~epsilon =
         | Error _ -> false)
   in
   {
-    c_algorithm = c.c_name;
-    c_reference = c.c_reference;
-    c_kind = c.c_kind;
+    c_algorithm = c.name;
+    c_reference = c.reference;
+    c_kind = c.kind;
     c_family = family.Suite.name;
     c_n = Graph.n g;
     c_epsilon = epsilon;
@@ -106,6 +116,7 @@ let carving_row ?(seed = 42) (c : Algorithms.carver) family ~n ~epsilon =
     c_max_message_bits = Congest.Cost.max_message_bits cost;
     c_valid;
     c_seconds;
+    c_trace = trace;
   }
 
 let kind_label = function Algorithms.Weak -> "weak" | Algorithms.Strong -> "strong"
@@ -113,6 +124,10 @@ let kind_label = function Algorithms.Weak -> "weak" | Algorithms.Strong -> "stro
 let model_label = function
   | Algorithms.Deterministic -> "det"
   | Algorithms.Randomized -> "rand"
+
+(* table cell / CSV cell for an optional diameter *)
+let diam_cell = function Some d -> string_of_int d | None -> "-"
+let diam_csv = function Some d -> string_of_int d | None -> "NA"
 
 let pp_decomp_table fmt rows =
   Format.fprintf fmt
@@ -122,9 +137,11 @@ let pp_decomp_table fmt rows =
   List.iter
     (fun r ->
       Format.fprintf fmt
-        "%-10s %-6s %-5s %-9s %6d %7d %7d %6d %6d %10d %8d %6s %8.2f@."
+        "%-10s %-6s %-5s %-9s %6d %7d %7d %6s %6d %10d %8d %6s %8.2f@."
         r.algorithm (kind_label r.kind) (model_label r.model) r.family r.n r.m
-        r.colors r.strong_diameter r.weak_diameter r.rounds r.max_message_bits
+        r.colors
+        (diam_cell r.strong_diameter)
+        r.weak_diameter r.rounds r.max_message_bits
         (if r.valid then "ok" else "FAIL")
         r.seconds)
     rows
@@ -136,9 +153,10 @@ let pp_carve_table fmt rows =
   List.iter
     (fun r ->
       Format.fprintf fmt
-        "%-10s %-6s %-9s %6d %6.3f %6d %6d %6.1f %10d %8d %6s %8.2f@."
+        "%-10s %-6s %-9s %6d %6.3f %6s %6d %6.1f %10d %8d %6s %8.2f@."
         r.c_algorithm (kind_label r.c_kind) r.c_family r.c_n r.c_epsilon
-        r.c_strong_diameter r.c_weak_diameter
+        (diam_cell r.c_strong_diameter)
+        r.c_weak_diameter
         (100.0 *. r.c_dead_fraction)
         r.c_rounds r.c_max_message_bits
         (if r.c_valid then "ok" else "FAIL")
@@ -152,10 +170,12 @@ let decomp_csv rows =
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%b,%.4f\n"
+        (Printf.sprintf "%s,%s,%s,%s,%d,%d,%d,%s,%d,%d,%d,%d,%b,%.4f\n"
            r.algorithm (kind_label r.kind) (model_label r.model) r.family r.n
-           r.m r.colors r.strong_diameter r.weak_diameter r.rounds r.messages
-           r.max_message_bits r.valid r.seconds))
+           r.m r.colors
+           (diam_csv r.strong_diameter)
+           r.weak_diameter r.rounds r.messages r.max_message_bits r.valid
+           r.seconds))
     rows;
   Buffer.contents buf
 
@@ -166,9 +186,10 @@ let carve_csv rows =
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%.4f,%d,%d,%.4f,%d,%d,%b,%.4f\n"
+        (Printf.sprintf "%s,%s,%s,%d,%.4f,%s,%d,%.4f,%d,%d,%b,%.4f\n"
            r.c_algorithm (kind_label r.c_kind) r.c_family r.c_n r.c_epsilon
-           r.c_strong_diameter r.c_weak_diameter r.c_dead_fraction r.c_rounds
-           r.c_max_message_bits r.c_valid r.c_seconds))
+           (diam_csv r.c_strong_diameter)
+           r.c_weak_diameter r.c_dead_fraction r.c_rounds r.c_max_message_bits
+           r.c_valid r.c_seconds))
     rows;
   Buffer.contents buf

@@ -1,7 +1,12 @@
 (** Measurement harness: run a registered algorithm on a workload graph
     and record the quantities the paper's tables report — colors,
     diameters, rounds, message sizes — together with validity verdicts
-    from the {!Cluster} checkers. *)
+    from the {!Cluster} checkers.
+
+    Rows can optionally carry a per-run {!Congest.Trace.sink}: pass
+    [~trace] and the meter given to the algorithm reports every
+    {!Congest.Cost.charge} into it ([Cost_charged] events), so a row's
+    headline numbers can be drilled into round by round afterwards. *)
 
 type decomp_row = {
   algorithm : string;
@@ -12,14 +17,16 @@ type decomp_row = {
   n : int;
   m : int;
   colors : int;
-  strong_diameter : int;  (** [-1] when some cluster induces a
-                              disconnected subgraph (weak algorithms) *)
+  strong_diameter : int option;
+      (** [None] when some cluster induces a disconnected subgraph, so no
+          strong diameter exists (weak algorithms) *)
   weak_diameter : int;
   rounds : int;
   messages : int;
   max_message_bits : int;
   valid : bool;
   seconds : float;
+  trace : Congest.Trace.sink option;  (** the sink passed in, if any *)
 }
 
 type carve_row = {
@@ -29,20 +36,27 @@ type carve_row = {
   c_family : string;
   c_n : int;
   c_epsilon : float;
-  c_strong_diameter : int;
+  c_strong_diameter : int option;  (** as {!decomp_row.strong_diameter} *)
   c_weak_diameter : int;
   c_dead_fraction : float;
   c_rounds : int;
   c_max_message_bits : int;
   c_valid : bool;
   c_seconds : float;
+  c_trace : Congest.Trace.sink option;
 }
 
 val decomposition_row :
-  ?seed:int -> Algorithms.decomposer -> Suite.family -> n:int -> decomp_row
+  ?seed:int ->
+  ?trace:Congest.Trace.sink ->
+  Algorithms.decomposer ->
+  Suite.family ->
+  n:int ->
+  decomp_row
 
 val carving_row :
   ?seed:int ->
+  ?trace:Congest.Trace.sink ->
   Algorithms.carver ->
   Suite.family ->
   n:int ->
@@ -53,4 +67,7 @@ val pp_decomp_table : Format.formatter -> decomp_row list -> unit
 val pp_carve_table : Format.formatter -> carve_row list -> unit
 
 val decomp_csv : decomp_row list -> string
+(** Missing strong diameters are emitted as [NA] (never [-1], which
+    plotting pipelines would average into real diameters). *)
+
 val carve_csv : carve_row list -> string

@@ -107,7 +107,7 @@ let gossip_program g =
 
 let test_sim_delivers_messages () =
   let g = Gen.cycle 5 in
-  let states, stats = Sim.run ~bits:(fun _ -> 3) g (gossip_program g) in
+  let states, stats = Sim.simulate ~bits:(fun _ -> 3) g (gossip_program g) in
   check bool "halted" true stats.all_halted;
   check int "messages" 10 stats.total_messages;
   (* every node hears its two neighbors *)
@@ -129,7 +129,11 @@ let test_sim_bandwidth_enforced () =
     (Sim.Bandwidth_exceeded
        { node = 0; dst = 1; round = 1; bits = 9999; bandwidth = 10 })
     (fun () ->
-      ignore (Sim.run ~bandwidth:10 ~bits:(fun _ -> 9999) g oversized))
+      ignore
+        (Sim.simulate
+           ~config:Sim.Config.(default |> with_bandwidth 10)
+           ~bits:(fun _ -> 9999)
+           g oversized))
 
 let test_sim_rejects_non_neighbor () =
   let g = Gen.path 3 in
@@ -143,7 +147,7 @@ let test_sim_rejects_non_neighbor () =
   in
   Alcotest.check_raises "non neighbor"
     (Invalid_argument "Sim.run: node 0 sent to non-neighbor 2") (fun () ->
-      ignore (Sim.run ~bits:(fun _ -> 1) g bad))
+      ignore (Sim.simulate ~bits:(fun _ -> 1) g bad))
 
 let test_sim_rejects_double_send () =
   let g = Gen.path 2 in
@@ -157,7 +161,7 @@ let test_sim_rejects_double_send () =
   in
   Alcotest.check_raises "double send"
     (Invalid_argument "Sim.run: node 0 sent twice to 1 in one round") (fun () ->
-      ignore (Sim.run ~bits:(fun _ -> 1) g bad))
+      ignore (Sim.simulate ~bits:(fun _ -> 1) g bad))
 
 let test_sim_max_rounds_cutoff () =
   let g = Gen.path 2 in
@@ -167,7 +171,12 @@ let test_sim_max_rounds_cutoff () =
       round = (fun ~node:_ ~state:_ ~inbox:_ -> ((), [], false));
     }
   in
-  let _, stats = Sim.run ~max_rounds:7 ~bits:(fun _ -> 1) g forever in
+  let _, stats =
+    Sim.simulate
+      ~config:Sim.Config.(default |> with_max_rounds 7)
+      ~bits:(fun _ -> 1)
+      g forever
+  in
   check int "cut off" 7 stats.rounds_used;
   check bool "not halted" false stats.all_halted
 

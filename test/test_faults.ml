@@ -93,7 +93,9 @@ let test_sim_crash_freezes_node () =
   let g = Gen.path 4 in
   let adv = Fault.create (Fault.spec ~crashes:[ (3, 2) ] ()) in
   let states, stats =
-    Sim.run ~adversary:adv ~bits:chat_bits g (chatter ~talk:4 g)
+    Sim.simulate
+      ~config:Sim.Config.(default |> with_adversary adv)
+      ~bits:chat_bits g (chatter ~talk:4 g)
   in
   Alcotest.(check (list int)) "crashed listed" [ 3 ] stats.faults.crashed;
   (* node 3 executed only round 1 before crashing at round 2 *)
@@ -110,12 +112,18 @@ let test_sim_crash_freezes_node () =
 let test_sim_drop_loses_messages () =
   let g = Gen.cycle 6 in
   let adv = Fault.create (Fault.spec ~seed:7 ~drop:0.5 ()) in
-  let _, stats = Sim.run ~adversary:adv ~bits:chat_bits g (chatter ~talk:3 g) in
+  let _, stats =
+    Sim.simulate
+      ~config:Sim.Config.(default |> with_adversary adv)
+      ~bits:chat_bits g (chatter ~talk:3 g)
+  in
   check bool "some dropped" true (stats.faults.dropped > 0);
   check bool "replayable" true
     (let adv2 = Fault.create (Fault.spec ~seed:7 ~drop:0.5 ()) in
      let _, stats2 =
-       Sim.run ~adversary:adv2 ~bits:chat_bits g (chatter ~talk:3 g)
+       Sim.simulate
+         ~config:Sim.Config.(default |> with_adversary adv2)
+         ~bits:chat_bits g (chatter ~talk:3 g)
      in
      stats2.faults.dropped = stats.faults.dropped)
 
@@ -125,7 +133,9 @@ let test_sim_duplicate_and_delay () =
     Fault.create (Fault.spec ~seed:5 ~duplicate:0.5 ~delay:0.4 ~delay_window:3 ())
   in
   let states, stats =
-    Sim.run ~adversary:adv ~bits:chat_bits g (chatter ~talk:6 g)
+    Sim.simulate
+      ~config:Sim.Config.(default |> with_adversary adv)
+      ~bits:chat_bits g (chatter ~talk:6 g)
   in
   check bool "duplicated" true (stats.faults.duplicated > 0);
   check bool "delayed" true (stats.faults.delayed > 0);
@@ -150,14 +160,18 @@ let test_sim_on_incomplete () =
     }
   in
   (match
-     Sim.run ~max_rounds:3 ~on_incomplete:`Raise ~bits:(fun _ -> 1) g never_halt
+     Sim.simulate
+       ~config:Sim.Config.(default |> with_max_rounds 3 |> with_on_incomplete `Raise)
+       ~bits:(fun _ -> 1) g never_halt
    with
   | exception Sim.Incomplete { max_rounds; running } ->
       check int "max_rounds" 3 max_rounds;
       check int "running" 2 running
   | _ -> Alcotest.fail "expected Incomplete");
   let _, stats =
-    Sim.run ~max_rounds:3 ~on_incomplete:`Ignore ~bits:(fun _ -> 1) g never_halt
+    Sim.simulate
+      ~config:Sim.Config.(default |> with_max_rounds 3 |> with_on_incomplete `Ignore)
+      ~bits:(fun _ -> 1) g never_halt
   in
   check bool "not halted" false stats.all_halted
 
@@ -169,12 +183,14 @@ let inner_rounds_for ~talk = (2 * talk) + 6
 
 let run_reliable ?adversary ~talk g =
   let cfg = Reliable.config ~inner_rounds:(inner_rounds_for ~talk) () in
-  Reliable.run ?adversary cfg ~bits:chat_bits g (chatter ~talk g)
+  Reliable.simulate
+    ~sim:{ Sim.Config.default with adversary }
+    cfg ~bits:chat_bits g (chatter ~talk g)
 
 let test_reliable_zero_fault_transparency () =
   let g = Gen.erdos_renyi (Rng.create 3) 20 0.2 in
   let talk = 5 in
-  let plain, _ = Sim.run ~bits:chat_bits g (chatter ~talk g) in
+  let plain, _ = Sim.simulate ~bits:chat_bits g (chatter ~talk g) in
   let r = run_reliable ~talk g in
   let upto = inner_rounds_for ~talk in
   Array.iteri
@@ -191,7 +207,7 @@ let test_reliable_zero_fault_transparency () =
 let test_reliable_exactly_once_under_drop () =
   let g = Gen.cycle 8 in
   let talk = 5 in
-  let plain, _ = Sim.run ~bits:chat_bits g (chatter ~talk g) in
+  let plain, _ = Sim.simulate ~bits:chat_bits g (chatter ~talk g) in
   List.iter
     (fun drop ->
       let adv = Fault.create (Fault.spec ~seed:11 ~drop ()) in
@@ -214,7 +230,7 @@ let test_reliable_exactly_once_under_drop () =
 let test_reliable_under_duplication_and_reordering () =
   let g = Gen.path 6 in
   let talk = 4 in
-  let plain, _ = Sim.run ~bits:chat_bits g (chatter ~talk g) in
+  let plain, _ = Sim.simulate ~bits:chat_bits g (chatter ~talk g) in
   let adv =
     Fault.create
       (Fault.spec ~seed:2 ~drop:0.1 ~duplicate:0.2 ~delay:0.2 ~delay_window:4 ())
@@ -232,7 +248,7 @@ let test_reliable_under_duplication_and_reordering () =
 let test_reliable_burst_blackout () =
   let g = Gen.path 4 in
   let talk = 4 in
-  let plain, _ = Sim.run ~bits:chat_bits g (chatter ~talk g) in
+  let plain, _ = Sim.simulate ~bits:chat_bits g (chatter ~talk g) in
   (* total blackout for 10 rounds: nothing gets through, then recovery *)
   let adv =
     Fault.create
@@ -261,7 +277,11 @@ let test_reliable_crash_detection () =
       ~inner_rounds:(inner_rounds_for ~talk)
       ~liveness_timeout:20 ()
   in
-  let r = Reliable.run ~adversary:adv cfg ~bits:chat_bits g (chatter ~talk g) in
+  let r =
+    Reliable.simulate
+      ~sim:Sim.Config.(default |> with_adversary adv)
+      cfg ~bits:chat_bits g (chatter ~talk g)
+  in
   Alcotest.(check (list int))
     "survivor detected the crash" [ 0 ] r.Reliable.dead_view.(1);
   Alcotest.(check (list int)) "union" [ 0 ] r.Reliable.transport.detected_dead;
@@ -277,7 +297,11 @@ let test_reliable_header_within_budget () =
   let inner_rounds = inner_rounds_for ~talk in
   let adv = Fault.create (Fault.spec ~seed:9 ~drop:0.2 ~duplicate:0.1 ()) in
   let cfg = Reliable.config ~inner_rounds () in
-  let r = Reliable.run ~adversary:adv cfg ~bits:chat_bits g (chatter ~talk g) in
+  let r =
+    Reliable.simulate
+      ~sim:Sim.Config.(default |> with_adversary adv)
+      cfg ~bits:chat_bits g (chatter ~talk g)
+  in
   let budget = Bits.bandwidth ~n + Reliable.header_bits ~inner_rounds in
   check bool "frames within widened budget" true
     (r.Reliable.sim_stats.max_bits_seen <= budget);
@@ -458,7 +482,7 @@ let prop_reliable_faithful =
     (fun (seed, n, drop, (duplicate, delay)) ->
       let g = Gen.erdos_renyi (Rng.create (seed + 1)) n 0.3 in
       let talk = 4 in
-      let plain, _ = Sim.run ~bits:chat_bits g (chatter ~talk g) in
+      let plain, _ = Sim.simulate ~bits:chat_bits g (chatter ~talk g) in
       let adv =
         Fault.create
           (Fault.spec ~seed ~drop ~duplicate ~delay ~delay_window:3 ())

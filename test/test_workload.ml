@@ -62,7 +62,7 @@ let test_registry_names_unique () =
   let names = List.map (fun (d : Algorithms.decomposer) -> d.name) Algorithms.decomposers in
   check int "unique decomposer names" (List.length names)
     (List.length (List.sort_uniq compare names));
-  let cnames = List.map (fun (c : Algorithms.carver) -> c.c_name) Algorithms.carvers in
+  let cnames = List.map (fun (c : Algorithms.carver) -> c.name) Algorithms.carvers in
   check int "unique carver names" (List.length cnames)
     (List.length (List.sort_uniq compare cnames))
 
