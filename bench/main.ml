@@ -5,7 +5,10 @@
 
    Usage:  dune exec bench/main.exe            (standard sizes, ~minutes)
            dune exec bench/main.exe -- full    (adds the n=16384 sweep)
-           dune exec bench/main.exe -- quick   (smoke-test sizes) *)
+           dune exec bench/main.exe -- quick   (smoke-test sizes)
+           dune exec bench/main.exe -- trace   (observability overhead only)
+           dune exec bench/main.exe -- record  (append a headline snapshot
+                                                to BENCH_trajectory.json) *)
 
 open Dsgraph
 module Suite = Workload.Suite
@@ -24,10 +27,11 @@ let mode =
   | _ :: "quick" :: _ -> `Quick
   | _ :: "faults" :: _ -> `Faults
   | _ :: "trace" :: _ -> `Trace
+  | _ :: "record" :: _ -> `Record
   | _ -> `Standard
 
-(* surface the simulator's incomplete-run warnings (Sim.run
-   ~on_incomplete:`Warn logs to the "congest.sim" source) *)
+(* surface the simulator's incomplete-run warnings (Sim.simulate with
+   on_incomplete = `Warn logs to the "congest.sim" source) *)
 let () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning)
@@ -372,10 +376,10 @@ let shape_check rows2 =
             match
               List.find_opt
                 (fun (r : Measure.carve_row) ->
-                  r.Measure.c_algorithm = trow.Workload.Theory.t_name
-                  && r.Measure.c_family = "path"
-                  && r.Measure.c_n = n
-                  && r.Measure.c_epsilon = 0.5)
+                  r.Measure.algorithm = trow.Workload.Theory.t_name
+                  && r.Measure.family = "path"
+                  && r.Measure.n = n
+                  && r.Measure.epsilon = 0.5)
                 rows2
             with
             | None -> None
@@ -383,10 +387,10 @@ let shape_check rows2 =
                 let measured =
                   match which with
                   | `Diameter -> (
-                      match r.Measure.c_strong_diameter with
+                      match r.Measure.strong_diameter with
                       | Some d -> d
-                      | None -> r.Measure.c_weak_diameter)
-                  | `Rounds -> r.Measure.c_rounds
+                      | None -> r.Measure.weak_diameter)
+                  | `Rounds -> r.Measure.rounds
                 in
                 Some
                   (Workload.Theory.ratio trow which ~n ~epsilon:0.5 ~measured))
@@ -723,6 +727,61 @@ let trace_experiment () =
   Format.pp_print_flush fmt ();
   rows
 
+(* T.SPAN: the tentpole acceptance number — spans must cost a few percent
+   at most over tracing alone, since every enter/exit only pushes one
+   packed event and touches two float cells *)
+let span_overhead_experiment () =
+  section
+    "T.SPAN -- wall-clock overhead of phase spans over tracing alone";
+  Format.fprintf fmt
+    "Both columns attach a sink; 'trace' disables spans (~spans:false), \
+     'spans' is the@.default sink with the full phase hierarchy recorded. \
+     trace2 re-runs the@.tracing-only batch as the noise floor. The budget \
+     is overhead%% <= 5.@.@.";
+  let reps = match mode with `Quick -> 3 | _ -> 15 in
+  let grid = Gen.grid 8 8 in
+  let workloads =
+    [
+      ( "weak_carve_sim/grid64",
+        2,
+        fun sink ->
+          ignore (Weakdiam.Distributed.carve ~trace:sink grid ~epsilon:0.5) );
+      ( "thm2.3/grid64",
+        2,
+        fun sink ->
+          let cost = Congest.Cost.create ~trace:sink () in
+          ignore (Strongdecomp.Netdecomp.strong ~cost grid) );
+    ]
+  in
+  Format.fprintf fmt "%-24s %5s %10s %10s %10s %10s %10s@." "workload" "reps"
+    "trace(s)" "spans(s)" "trace2(s)" "overhead%" "floor%";
+  let rows =
+    List.map
+      (fun (name, iters, exec) ->
+        let plain = Congest.Trace.sink ~spans:false () in
+        let spanned = Congest.Trace.sink () in
+        let batch sink () =
+          for _ = 1 to iters do
+            Congest.Trace.clear sink;
+            exec sink
+          done
+        in
+        (* warm both variants so neither pays cold caches *)
+        batch spanned ();
+        batch plain ();
+        let off = median_seconds ~reps (batch plain) in
+        let on = median_seconds ~reps (batch spanned) in
+        let off2 = median_seconds ~reps (batch plain) in
+        let pct a b = 100.0 *. (a -. b) /. Float.max b 1e-9 in
+        let overhead = pct on off and floor = pct off2 off in
+        Format.fprintf fmt "%-24s %5d %10.4f %10.4f %10.4f %10.2f %10.2f@."
+          name reps off on off2 overhead floor;
+        (name, reps, off, on, off2, overhead, floor))
+      workloads
+  in
+  Format.pp_print_flush fmt ();
+  rows
+
 (* sample artifacts so a bench run leaves an inspectable event stream *)
 let trace_artifacts () =
   let grid = Gen.grid 8 8 in
@@ -742,22 +801,222 @@ let trace_artifacts () =
 let run_trace_only () =
   let t0 = Unix.gettimeofday () in
   let rows = trace_experiment () in
+  let span_rows = span_overhead_experiment () in
   (try
      let dir = "bench_results" in
      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-     let oc = open_out (Filename.concat dir "trace_overhead.csv") in
-     output_string oc
-       "workload,reps,off_seconds,on_seconds,off2_seconds,overhead_pct,floor_pct\n";
-     List.iter
-       (fun (name, reps, off, on, off2, overhead, floor) ->
-         output_string oc
-           (Printf.sprintf "%s,%d,%.6f,%.6f,%.6f,%.3f,%.3f\n" name reps off on
-              off2 overhead floor))
+     let dump file header rows =
+       let oc = open_out (Filename.concat dir file) in
+       output_string oc header;
+       List.iter
+         (fun (name, reps, off, on, off2, overhead, floor) ->
+           output_string oc
+             (Printf.sprintf "%s,%d,%.6f,%.6f,%.6f,%.3f,%.3f\n" name reps off
+                on off2 overhead floor))
+         rows;
+       close_out oc
+     in
+     dump "trace_overhead.csv"
+       "workload,reps,off_seconds,on_seconds,off2_seconds,overhead_pct,floor_pct\n"
        rows;
-     close_out oc;
+     dump "span_overhead.csv"
+       "workload,reps,trace_seconds,spans_seconds,trace2_seconds,overhead_pct,floor_pct\n"
+       span_rows;
      trace_artifacts ();
-     Format.fprintf fmt "@.CSV dump written to bench_results/trace_overhead.csv@."
+     Format.fprintf fmt
+       "@.CSV dumps written to bench_results/{trace,span}_overhead.csv@."
    with Sys_error e -> Format.fprintf fmt "@.(skipping CSV dump: %s)@." e);
+  Format.fprintf fmt "@.total benchmark time: %.1f s@."
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* B.RECORD: persistent headline-metrics time series                     *)
+(* ------------------------------------------------------------------ *)
+
+let trajectory_path = "BENCH_trajectory.json"
+
+(* one snapshot workload: name, rounds, messages, max bits, span phase
+   count, wall seconds *)
+let record_entries () =
+  let decomp name n =
+    let d = Algorithms.find_decomposer name in
+    let sink = Congest.Trace.sink () in
+    let row = Measure.decomposition_row ~seed ~trace:sink d Suite.grid ~n in
+    ( Printf.sprintf "%s/grid%d" name n,
+      row.Measure.rounds,
+      row.Measure.messages,
+      row.Measure.max_message_bits,
+      List.length (Congest.Span.rollups sink),
+      row.Measure.seconds )
+  in
+  let sim () =
+    let g = Gen.grid 8 8 in
+    let sink = Congest.Trace.sink () in
+    let t0 = Unix.gettimeofday () in
+    let r = Weakdiam.Distributed.carve ~trace:sink g ~epsilon:0.5 in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let s = r.Weakdiam.Distributed.sim_stats in
+    ( "weak_carve_sim/grid64",
+      s.Congest.Sim.rounds_used,
+      s.Congest.Sim.total_messages,
+      s.Congest.Sim.max_bits_seen,
+      List.length (Congest.Span.rollups sink),
+      seconds )
+  in
+  [
+    decomp "thm2.3" 256;
+    decomp "thm3.4" 256;
+    decomp "ggr21" 256;
+    decomp "mpx" 256;
+    sim ();
+  ]
+
+let record_json entries =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "{\"time\":%.0f,\"workloads\":[" (Unix.time ()));
+  List.iteri
+    (fun i (name, rounds, messages, max_bits, phases, seconds) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%S,\"rounds\":%d,\"messages\":%d,\"max_bits\":%d,\"phases\":%d,\"seconds\":%.4f}"
+           name rounds messages max_bits phases seconds))
+    entries;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* the trajectory file is a JSON array with exactly one snapshot object
+   per line, so appending = collect the '{'-lines and rewrite *)
+let read_snapshot_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line > 0 && line.[0] = '{' then begin
+           let line =
+             if line.[String.length line - 1] = ',' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           lines := line :: !lines
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !lines
+  end
+
+let write_trajectory path lines =
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" lines);
+  output_string oc "\n]\n";
+  close_out oc
+
+(* just enough JSON scanning for our own one-line snapshots: the
+   workload objects are flat, so each runs from a {"name": marker to the
+   next '}' *)
+let index_of_sub s pos sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go pos
+
+let workload_objs line =
+  let rec go pos acc =
+    match index_of_sub line pos "{\"name\":" with
+    | None -> List.rev acc
+    | Some i -> (
+        match String.index_from_opt line i '}' with
+        | None -> List.rev acc
+        | Some j -> go (j + 1) (String.sub line i (j - i + 1) :: acc))
+  in
+  go 0 []
+
+let str_field field obj =
+  match index_of_sub obj 0 ("\"" ^ field ^ "\":\"") with
+  | None -> None
+  | Some i -> (
+      let start = i + String.length field + 4 in
+      match String.index_from_opt obj start '"' with
+      | None -> None
+      | Some j -> Some (String.sub obj start (j - start)))
+
+let num_field field obj =
+  match index_of_sub obj 0 ("\"" ^ field ^ "\":") with
+  | None -> None
+  | Some i ->
+      let start = i + String.length field + 3 in
+      let j = ref start in
+      let len = String.length obj in
+      while
+        !j < len
+        && (match obj.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub obj start (!j - start))
+
+(* prints one "regression: ..." line per >10% metric increase; CI greps
+   for the prefix and surfaces them as non-blocking warnings *)
+let compare_snapshots ~old_line ~new_line =
+  let olds = workload_objs old_line and news = workload_objs new_line in
+  let flagged = ref 0 in
+  List.iter
+    (fun nobj ->
+      match str_field "name" nobj with
+      | None -> ()
+      | Some name -> (
+          match
+            List.find_opt (fun o -> str_field "name" o = Some name) olds
+          with
+          | None -> ()
+          | Some oobj ->
+              List.iter
+                (fun metric ->
+                  match (num_field metric oobj, num_field metric nobj) with
+                  | Some ov, Some nv when ov > 0.0 && nv > ov *. 1.10 ->
+                      incr flagged;
+                      Format.fprintf fmt
+                        "regression: %s %s: %g -> %g (+%.1f%%)@." name metric
+                        ov nv
+                        (100.0 *. (nv -. ov) /. ov)
+                  | _ -> ())
+                [ "rounds"; "messages"; "max_bits"; "seconds" ]))
+    news;
+  !flagged
+
+let run_record_only () =
+  let t0 = Unix.gettimeofday () in
+  section
+    "B.RECORD -- headline-metrics snapshot appended to BENCH_trajectory.json";
+  let entries = record_entries () in
+  Format.fprintf fmt "%-24s %10s %10s %8s %7s %9s@." "workload" "rounds"
+    "messages" "maxbits" "phases" "seconds";
+  List.iter
+    (fun (name, rounds, messages, max_bits, phases, seconds) ->
+      Format.fprintf fmt "%-24s %10d %10d %8d %7d %9.3f@." name rounds
+        messages max_bits phases seconds)
+    entries;
+  let line = record_json entries in
+  let prev = read_snapshot_lines trajectory_path in
+  write_trajectory trajectory_path (prev @ [ line ]);
+  Format.fprintf fmt "@.appended snapshot %d to %s@."
+    (List.length prev + 1)
+    trajectory_path;
+  (match List.rev prev with
+  | last :: _ ->
+      if compare_snapshots ~old_line:last ~new_line:line = 0 then
+        Format.fprintf fmt "no >10%% regressions vs the previous snapshot@."
+  | [] -> Format.fprintf fmt "first snapshot -- nothing to compare against@.");
   Format.fprintf fmt "@.total benchmark time: %.1f s@."
     (Unix.gettimeofday () -. t0)
 
@@ -782,15 +1041,18 @@ let () =
     "strongdecomp benchmark harness -- reproduction of Chang & Ghaffari, \
      PODC 2021@.mode: %s (pass 'full' for the n=16384 sweep, 'quick' for a \
      smoke test,@.'faults' for the graceful-degradation sweep only, 'trace' \
-     for the observability@.overhead experiment only)@."
+     for the observability@.overhead experiments only, 'record' to append a \
+     headline snapshot to the@.persistent BENCH_trajectory.json)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
     | `Full -> "full"
     | `Faults -> "faults"
-    | `Trace -> "trace");
+    | `Trace -> "trace"
+    | `Record -> "record");
   if mode = `Faults then run_faults_only ()
   else if mode = `Trace then run_trace_only ()
+  else if mode = `Record then run_record_only ()
   else begin
   let t0 = Unix.gettimeofday () in
   let rows1 = table1 () in

@@ -124,7 +124,7 @@ let carve_cmd =
     let row = Measure.carving_row ~seed c family ~n ~epsilon in
     Format.printf "%s -- %s@.@." c.Algorithms.name c.Algorithms.reference;
     Measure.pp_carve_table Format.std_formatter [ row ];
-    if not row.Measure.c_valid then exit 1
+    if not row.Measure.valid then exit 1
   in
   let doc = "run a single ball carving and report (diameter, dead, rounds)" in
   Cmd.v (Cmd.info "carve" ~doc)
@@ -186,7 +186,8 @@ let sweep_cmd =
         output_string oc csv;
         close_out oc;
         Format.printf "wrote %s (%d rows)@." path (List.length rows));
-    if List.exists (fun r -> not r.Measure.valid) rows then exit 1
+    if List.exists (fun (r : Measure.decomp_row) -> not r.Measure.valid) rows
+    then exit 1
   in
   let doc = "sweep one algorithm over a size series and emit CSV" in
   Cmd.v (Cmd.info "sweep" ~doc)
@@ -317,7 +318,7 @@ let trace_cmd =
               in
               ( c.Algorithms.name,
                 c.Algorithms.reference,
-                row.Measure.c_valid,
+                row.Measure.valid,
                 fun () -> Measure.pp_carve_table Format.std_formatter [ row ] )
           | exception Not_found ->
               Format.eprintf "unknown algorithm %s@." algo;
@@ -348,6 +349,104 @@ let trace_cmd =
     Term.(
       const run $ algo_pos $ family_pos $ n_arg $ seed_arg $ epsilon_arg
       $ out_dir_arg)
+
+let profile_cmd =
+  let algo_pos =
+    Arg.(
+      value & pos 0 string "thm2.3"
+      & info [] ~docv:"ALGO"
+          ~doc:"Algorithm to profile (a decomposer name; carver names work too).")
+  in
+  let family_pos =
+    Arg.(value & pos 1 string "grid" & info [] ~docv:"FAMILY" ~doc:"Workload family.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt string "bench_results"
+      & info [ "out-dir"; "o" ] ~docv:"DIR"
+          ~doc:"Directory for the per-phase CSV and folded stacks.")
+  in
+  let weight_arg =
+    let weight_conv =
+      Arg.enum [ ("rounds", `Rounds); ("messages", `Messages); ("bits", `Bits) ]
+    in
+    Arg.(
+      value & opt weight_conv `Rounds
+      & info [ "weight"; "w" ] ~docv:"WEIGHT"
+          ~doc:"Folded-stack weight: $(b,rounds), $(b,messages) or $(b,bits).")
+  in
+  let run algo family n seed epsilon out_dir weight =
+    let family = lookup_family family in
+    let sink = Congest.Trace.sink () in
+    let name, valid =
+      match Algorithms.find_decomposer algo with
+      | d ->
+          let row = Measure.decomposition_row ~seed ~trace:sink d family ~n in
+          (d.Algorithms.name, row.Measure.valid)
+      | exception Not_found -> (
+          match Algorithms.find_carver algo with
+          | c ->
+              let row =
+                Measure.carving_row ~seed ~trace:sink c family ~n ~epsilon
+              in
+              (c.Algorithms.name, row.Measure.valid)
+          | exception Not_found ->
+              Format.eprintf "unknown algorithm %s@." algo;
+              exit 2)
+    in
+    let rollups = Congest.Span.rollups sink in
+    Format.printf "%s on %s (n=%d): per-phase rollups@.@." name
+      family.Suite.name n;
+    Congest.Span.pp_rollups Format.std_formatter rollups;
+    let prefix = Printf.sprintf "profile_%s_%s" name family.Suite.name in
+    let files = Congest.Span.save ~dir:out_dir ~weight ~prefix sink in
+    List.iter (Format.printf "@.wrote %s") files;
+    Format.printf "@.";
+    (* self-totals over all phases must reproduce the trace-wide globals;
+       only enforceable when nothing was dropped at capacity *)
+    if Congest.Trace.truncated sink = 0 then begin
+      let m = Congest.Metrics.of_trace sink in
+      let c name' =
+        Congest.Metrics.counter_value (Congest.Metrics.counter m name')
+      in
+      let global_rounds = c "rounds" + c "cost_rounds" in
+      let global_messages = c "messages_sent" + c "cost_messages" in
+      let global_bits =
+        Congest.Metrics.hist_sum
+          (Congest.Metrics.histogram m "bits_per_message")
+      in
+      let sum f = List.fold_left (fun acc r -> acc + f r) 0 rollups in
+      let span_rounds = sum (fun (r : Congest.Span.rollup) -> r.rounds) in
+      let span_messages = sum (fun (r : Congest.Span.rollup) -> r.messages) in
+      let span_bits = sum (fun (r : Congest.Span.rollup) -> r.bits) in
+      if
+        span_rounds <> global_rounds
+        || span_messages <> global_messages
+        || span_bits <> global_bits
+      then begin
+        Format.eprintf
+          "attribution mismatch: spans (%d rounds, %d msgs, %d bits) vs \
+           trace (%d rounds, %d msgs, %d bits)@."
+          span_rounds span_messages span_bits global_rounds global_messages
+          global_bits;
+        exit 1
+      end
+      else
+        Format.printf
+          "attribution check: %d rounds, %d messages, %d bits fully \
+           attributed@."
+          global_rounds global_messages global_bits
+    end;
+    if not valid then exit 1
+  in
+  let doc =
+    "run one algorithm with phase spans attached and emit per-phase cost \
+     rollups (CSV) plus flamegraph-compatible folded stacks"
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ algo_pos $ family_pos $ n_arg $ seed_arg $ epsilon_arg
+      $ out_dir_arg $ weight_arg)
 
 let list_cmd =
   let run () =
@@ -382,5 +481,6 @@ let () =
             sweep_cmd;
             faults_cmd;
             trace_cmd;
+            profile_cmd;
             list_cmd;
           ]))

@@ -7,7 +7,7 @@
 open Dsgraph
 
 let () =
-  (* show Sim.run's incomplete-run warnings, should any fire *)
+  (* show Sim.simulate's incomplete-run warnings, should any fire *)
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
   let rng = Rng.create 99 in

@@ -98,18 +98,25 @@ let attempt_reliable ?adversary ?(liveness_timeout = 64) ?trace rng g ~epsilon
     inner_rounds;
   }
 
-let carve ?(max_retries = 60) rng g ~epsilon =
+let carve ?(max_retries = 60) ?trace rng g ~epsilon =
   if epsilon <= 0.0 || epsilon >= 1.0 then
     invalid_arg "Ls_distributed.carve: epsilon must be in (0, 1)";
   let n = Graph.n g in
   let domain = Mask.full n in
+  Congest.Span.enter trace "ls_carve";
   let rec go k =
-    if k >= max_retries then
-      failwith "Ls_distributed.carve: retries exhausted (unlucky sampling)";
-    let cluster_of, stats = attempt rng g ~epsilon in
+    if k >= max_retries then (
+      Congest.Span.exit trace;
+      failwith "Ls_distributed.carve: retries exhausted (unlucky sampling)");
+    Congest.Span.enter_idx trace "attempt" k;
+    let cluster_of, stats = attempt ?trace rng g ~epsilon in
+    Congest.Span.exit trace;
     let clustering = Cluster.Clustering.make g ~cluster_of in
     let carving = Cluster.Carving.make clustering ~domain in
-    if Cluster.Carving.dead_fraction carving <= epsilon then (carving, stats)
+    if Cluster.Carving.dead_fraction carving <= epsilon then begin
+      Congest.Span.exit trace;
+      (carving, stats)
+    end
     else go (k + 1)
   in
   go 0
@@ -120,7 +127,7 @@ type decompose_stats = {
   max_bits : int;
 }
 
-let decompose ?(max_retries = 60) rng g =
+let decompose ?(max_retries = 60) ?trace rng g =
   let n = Graph.n g in
   let cluster_of = Array.make n (-1) in
   let node_color = Array.make n (-1) in
@@ -128,9 +135,11 @@ let decompose ?(max_retries = 60) rng g =
   let stats = ref { total_rounds = 0; total_messages = 0; max_bits = 0 } in
   let remaining = ref (Graph.nodes g) in
   let color = ref 0 in
+  Congest.Span.enter trace "ls_decompose";
   while !remaining <> [] do
+    Congest.Span.enter_idx trace "color" !color;
     let sub, back = Subgraph.induce g !remaining in
-    let carving, sim_stats = carve ~max_retries rng sub ~epsilon:0.5 in
+    let carving, sim_stats = carve ~max_retries ?trace rng sub ~epsilon:0.5 in
     stats :=
       {
         total_rounds = !stats.total_rounds + sim_stats.Congest.Sim.rounds_used;
@@ -153,8 +162,10 @@ let decompose ?(max_retries = 60) rng g =
           members)
       (Cluster.Clustering.clusters clustering);
     remaining := List.filter (fun v -> cluster_of.(v) = -1) !remaining;
-    incr color
+    incr color;
+    Congest.Span.exit trace
   done;
+  Congest.Span.exit trace;
   let clustering = Cluster.Clustering.make g ~cluster_of in
   let color_of_cluster =
     Array.init (Cluster.Clustering.num_clusters clustering) (fun c ->

@@ -55,14 +55,17 @@ val attempt_reliable :
 
 val carve :
   ?max_retries:int ->
+  ?trace:Congest.Trace.sink ->
   Dsgraph.Rng.t ->
   Dsgraph.Graph.t ->
   epsilon:float ->
   Cluster.Carving.t * Congest.Sim.stats
-(** Runs the node program under [Sim.run] (Las Vegas retry on the dead
+(** Runs the node program under [Sim.simulate] (Las Vegas retry on the dead
     fraction, default 60 attempts) and returns the carving together with
     the {e measured} simulator statistics (rounds, messages, max message
-    bits). @raise Failure when retries are exhausted. *)
+    bits). A [trace] sink sees each retry under an
+    [ls_carve/attempt=<k>] span. @raise Failure when retries are
+    exhausted. *)
 
 type decompose_stats = {
   total_rounds : int;  (** summed over the color repetitions *)
@@ -72,6 +75,7 @@ type decompose_stats = {
 
 val decompose :
   ?max_retries:int ->
+  ?trace:Congest.Trace.sink ->
   Dsgraph.Rng.t ->
   Dsgraph.Graph.t ->
   Cluster.Decomposition.t * decompose_stats
@@ -80,4 +84,5 @@ val decompose :
     on the (materialized) subgraph induced by the not-yet-clustered nodes,
     coloring repetition [i]'s clusters with color [i]. Every message of
     every round fits the CONGEST bandwidth — the end-to-end
-    small-messages execution of a full decomposition. *)
+    small-messages execution of a full decomposition. A [trace] sink
+    sees color repetition [i] under an [ls_decompose/color=<i>] span. *)

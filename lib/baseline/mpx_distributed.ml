@@ -109,7 +109,8 @@ let partition ?(seed = 1) ?adversary ?trace g ~beta =
     }
   in
   let states, sim_stats =
-    Congest.Sim.simulate ~config ~bits:(fun _ -> id_bits) g program
+    Congest.Span.with_span trace "mpx_partition" (fun () ->
+        Congest.Sim.simulate ~config ~bits:(fun _ -> id_bits) g program)
   in
   let cluster_of = Array.map (fun st -> st.center) states in
   {

@@ -49,7 +49,7 @@ val spec :
 
 type t
 (** An instantiated adversary: spec + RNG stream + fault counters.
-    Single-use — create a fresh one per {!Sim.run} to replay a schedule. *)
+    Single-use — create a fresh one per {!Sim.simulate} to replay a schedule. *)
 
 val create : spec -> t
 (** @raise Invalid_argument on rates outside [0, 1], negative windows,

@@ -58,7 +58,16 @@ val of_trace : ?into:t -> Trace.sink -> t
     [inbox_size] (deliveries grouped per round and destination); gauges
     [max_message_bits] and [max_in_flight]. Cost-level events feed
     counters [cost_rounds], [cost_messages], per-tag counters
-    [cost.<tag>.rounds], and histogram [cost_charge_rounds]. *)
+    [cost.<tag>.rounds], and histogram [cost_charge_rounds]. Span
+    events contribute nothing here — see {!of_spans}. *)
+
+val of_spans : ?into:t -> Trace.sink -> t
+(** Folds {!Span.rollups} into per-phase metrics: counters
+    [span.<path>.entries], [.rounds], [.rounds_incl], [.messages],
+    [.messages_incl], [.bits], [.bits_incl] and gauges
+    [.max_message_bits], [.seconds], [.seconds_incl]. Self totals over
+    all paths (including the [(unspanned)] bucket) sum exactly to the
+    corresponding {!of_trace} globals. *)
 
 val to_csv : t -> string
 (** Long format, one statistic per row: [metric,stat,value]. Histograms

@@ -320,9 +320,3 @@ let simulate ?(sim = Sim.Config.default) cfg ~bits g inner =
     transport = transport_stats nodes;
   }
 
-let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) cfg ~bits g
-    inner =
-  simulate
-    ~sim:
-      { Sim.Config.max_rounds; bandwidth; adversary; on_incomplete; trace = None }
-    cfg ~bits g inner

@@ -8,8 +8,8 @@
     sequence number and a cumulative acknowledgement. A node executes
     inner round [r] only once it holds every live neighbor's round-[r-1]
     token, so under any fault schedule the inner program observes exactly
-    the synchronous semantics of {!Sim.run}: delivery is exactly-once and
-    in order per sequence number.
+    the synchronous semantics of {!Sim.simulate}: delivery is
+    exactly-once and in order per sequence number.
 
     The wrapped program runs the inner program for a {e fixed} number of
     rounds, [cfg.inner_rounds] — distributed termination detection under
@@ -83,7 +83,7 @@ type ('st, 'msg) node
 
 val wrap :
   config -> ('st, 'msg) Sim.program -> (('st, 'msg) node, 'msg frame) Sim.program
-(** The transport combinator. Run the result through {!Sim.run} with
+(** The transport combinator. Run the result through {!Sim.simulate} with
     [bits = frame_bits ~bits ~inner_rounds] and a bandwidth widened by
     {!header_bits} — or use {!simulate}, which does exactly that. *)
 
@@ -126,18 +126,3 @@ val simulate :
     [6 * inner_rounds + 8 * liveness_timeout + 64], ample for drop rates
     well beyond the benchmarked 0.1. A [sim.trace] sink observes the
     {e outer} (transport-level) rounds and frames. *)
-
-val run :
-  ?max_rounds:int ->
-  ?bandwidth:int ->
-  ?adversary:Fault.t ->
-  ?on_incomplete:[ `Ignore | `Warn | `Raise ] ->
-  config ->
-  bits:('msg -> int) ->
-  Dsgraph.Graph.t ->
-  ('st, 'msg) Sim.program ->
-  'st result
-[@@ocaml.deprecated
-  "use Reliable.simulate with a Sim.Config.t for the run options"]
-(** Deprecated optional-argument shim over {!simulate}; kept for one
-    release. Cannot attach a trace. *)

@@ -173,10 +173,10 @@ let simulate ?(config = Config.default) ~bits g program =
           (fun (dst, msg) ->
             if not (Graph.is_edge g v dst) then
               invalid_arg
-                (Printf.sprintf "Sim.run: node %d sent to non-neighbor %d" v dst);
+                (Printf.sprintf "Sim.simulate: node %d sent to non-neighbor %d" v dst);
             if Hashtbl.mem seen dst then
               invalid_arg
-                (Printf.sprintf "Sim.run: node %d sent twice to %d in one round"
+                (Printf.sprintf "Sim.simulate: node %d sent twice to %d in one round"
                    v dst);
             Hashtbl.add seen dst ();
             let b = bits msg in
@@ -275,7 +275,7 @@ let simulate ?(config = Config.default) ~bits g program =
     | `Warn ->
         Log.warn (fun m ->
             m
-              "Sim.run: stopped at max_rounds=%d with %d node(s) still \
+              "Sim.simulate: stopped at max_rounds=%d with %d node(s) still \
                running and %d message(s) in flight"
               max_rounds running !pending)
     | `Raise -> raise (Incomplete { max_rounds; running })
@@ -300,9 +300,3 @@ let simulate ?(config = Config.default) ~bits g program =
       faults;
     } )
 
-let run ?max_rounds ?bandwidth ?adversary ?(on_incomplete = `Warn) ~bits g
-    program =
-  simulate
-    ~config:
-      { Config.max_rounds; bandwidth; adversary; on_incomplete; trace = None }
-    ~bits g program

@@ -17,8 +17,7 @@
 
     All run options live in one {!Config.t} record consumed by
     {!simulate}; build one with {!Config.default} and the [with_*]
-    setters (or a record update). The old optional-argument entry point
-    {!run} remains as a deprecated shim for one release. *)
+    setters (or a record update). *)
 
 exception
   Bandwidth_exceeded of {
@@ -116,17 +115,3 @@ val simulate :
     event (sent / delivered / dropped / duplicated / delayed), halt and
     crash transition, and bandwidth high-water mark is recorded in it;
     with [trace = None] no event is allocated at all. *)
-
-val run :
-  ?max_rounds:int ->
-  ?bandwidth:int ->
-  ?adversary:Fault.t ->
-  ?on_incomplete:[ `Ignore | `Warn | `Raise ] ->
-  bits:('msg -> int) ->
-  Dsgraph.Graph.t ->
-  ('st, 'msg) program ->
-  'st array * stats
-[@@ocaml.deprecated
-  "use Sim.simulate with a Sim.Config.t (Config.default |> with_* ...)"]
-(** Deprecated optional-argument shim over {!simulate}; kept for one
-    release. Cannot attach a trace. *)

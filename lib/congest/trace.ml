@@ -33,6 +33,8 @@ type event =
       messages : int;
       max_bits : int;
     }
+  | Span_enter of { path : string }
+  | Span_exit of { path : string }
 
 (* Events are stored packed, [stride] immediate ints per event (kind code
    + up to 5 payload fields), in one flat [int array]. Recording is then a
@@ -52,6 +54,16 @@ type sink = {
   mutable tags : string array;
   mutable ntags : int;
   tag_index : (string, int) Hashtbl.t;
+  (* span bookkeeping; paths share the tag intern table. Wall-clock times
+     are kept OUT of the event stream (side tables below) so traces of
+     identical runs stay byte-identical. *)
+  spans_enabled : bool;
+  mutable span_stack : int array;  (* interned full-path ids, open frames *)
+  mutable span_t0 : float array;  (* gettimeofday at enter, per frame *)
+  mutable span_child : float array;  (* child inclusive seconds, per frame *)
+  mutable span_depth : int;
+  span_self : (int, float) Hashtbl.t;  (* path id -> self seconds *)
+  span_incl : (int, float) Hashtbl.t;  (* path id -> inclusive seconds *)
 }
 
 (* kind codes; [decode] below is the single reader *)
@@ -66,8 +78,10 @@ let k_node_halted = 7
 let k_node_crashed = 8
 let k_bandwidth_high_water = 9
 let k_cost_charged = 10
+let k_span_enter = 11
+let k_span_exit = 12
 
-let sink ?(capacity = 1_000_000) () =
+let sink ?(capacity = 1_000_000) ?(spans = true) () =
   if capacity < 1 then invalid_arg "Trace.sink: capacity must be positive";
   {
     buf = Array.make (stride * min capacity 256) 0;
@@ -77,6 +91,13 @@ let sink ?(capacity = 1_000_000) () =
     tags = [||];
     ntags = 0;
     tag_index = Hashtbl.create 8;
+    spans_enabled = spans;
+    span_stack = [||];
+    span_t0 = [||];
+    span_child = [||];
+    span_depth = 0;
+    span_self = Hashtbl.create 8;
+    span_incl = Hashtbl.create 8;
   }
 
 let grow s off =
@@ -132,6 +153,85 @@ let tag_id s tag =
       Hashtbl.add s.tag_index tag i;
       i
 
+(* Spans. [enter_span]/[exit_span] maintain the open-frame stack and the
+   wall-clock side tables, and record packed Span_enter/Span_exit events
+   carrying the interned full path (parent-path ^ "/" ^ segment). The
+   stack push/pop happens even when the event itself is dropped at
+   capacity, so instrumentation stays balanced. *)
+
+let ensure_frame s d =
+  if d = Array.length s.span_stack then begin
+    let cap = max 8 (2 * d) in
+    let stack = Array.make cap 0
+    and t0 = Array.make cap 0.0
+    and child = Array.make cap 0.0 in
+    Array.blit s.span_stack 0 stack 0 d;
+    Array.blit s.span_t0 0 t0 0 d;
+    Array.blit s.span_child 0 child 0 d;
+    s.span_stack <- stack;
+    s.span_t0 <- t0;
+    s.span_child <- child
+  end
+
+let set_span s k pid =
+  let off = slot s in
+  if off >= 0 then begin
+    let buf = s.buf in
+    buf.(off) <- k;
+    buf.(off + 1) <- pid;
+    buf.(off + 2) <- 0;
+    buf.(off + 3) <- 0;
+    buf.(off + 4) <- 0;
+    buf.(off + 5) <- 0
+  end
+
+let enter_span s name =
+  if s.spans_enabled then begin
+    let d = s.span_depth in
+    let path =
+      if d = 0 then name else s.tags.(s.span_stack.(d - 1)) ^ "/" ^ name
+    in
+    let pid = tag_id s path in
+    ensure_frame s d;
+    s.span_stack.(d) <- pid;
+    s.span_t0.(d) <- Unix.gettimeofday ();
+    s.span_child.(d) <- 0.0;
+    s.span_depth <- d + 1;
+    set_span s k_span_enter pid
+  end
+
+let accumulate tbl pid dt =
+  let prev = match Hashtbl.find_opt tbl pid with Some v -> v | None -> 0.0 in
+  Hashtbl.replace tbl pid (prev +. dt)
+
+let exit_span s =
+  if s.spans_enabled then begin
+    let d = s.span_depth - 1 in
+    if d < 0 then
+      invalid_arg "Trace.exit_span: unbalanced exit (no span is open)";
+    let pid = s.span_stack.(d) in
+    let dt = Unix.gettimeofday () -. s.span_t0.(d) in
+    let self = Float.max 0.0 (dt -. s.span_child.(d)) in
+    accumulate s.span_incl pid dt;
+    accumulate s.span_self pid self;
+    if d > 0 then s.span_child.(d - 1) <- s.span_child.(d - 1) +. dt;
+    s.span_depth <- d;
+    set_span s k_span_exit pid
+  end
+
+let span_depth s = s.span_depth
+let spans_enabled s = s.spans_enabled
+
+let span_seconds s =
+  Hashtbl.fold
+    (fun pid incl acc ->
+      let self =
+        match Hashtbl.find_opt s.span_self pid with Some v -> v | None -> 0.0
+      in
+      (s.tags.(pid), self, incl) :: acc)
+    s.span_incl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
 let record s ev =
   let off = slot s in
   if off >= 0 then begin
@@ -166,6 +266,8 @@ let record s ev =
         set k_bandwidth_high_water round node bits 0 0
     | Cost_charged { tag; rounds; messages; max_bits } ->
         set k_cost_charged (tag_id s tag) rounds messages max_bits 0
+    | Span_enter { path } -> set k_span_enter (tag_id s path) 0 0 0 0
+    | Span_exit { path } -> set k_span_exit (tag_id s path) 0 0 0 0
   end
 
 let decode s i =
@@ -200,6 +302,8 @@ let decode s i =
   else if k = k_node_crashed then Node_crashed { round = a; node = b }
   else if k = k_bandwidth_high_water then
     Bandwidth_high_water { round = a; node = b; bits = c }
+  else if k = k_span_enter then Span_enter { path = s.tags.(a) }
+  else if k = k_span_exit then Span_exit { path = s.tags.(a) }
   else Cost_charged { tag = s.tags.(a); rounds = b; messages = c; max_bits = d }
 
 let length s = s.off / stride
@@ -215,7 +319,10 @@ let clear s =
   s.off <- 0;
   s.dropped <- 0;
   s.ntags <- 0;
-  Hashtbl.reset s.tag_index
+  Hashtbl.reset s.tag_index;
+  s.span_depth <- 0;
+  Hashtbl.reset s.span_self;
+  Hashtbl.reset s.span_incl
 
 let reason_label = function
   | Adversary -> "adversary"
@@ -249,6 +356,8 @@ let pp_event ppf = function
   | Cost_charged { tag; rounds; messages; max_bits } ->
       Format.fprintf ppf "cost %s: +%d rounds, +%d messages, max %d bits" tag
         rounds messages max_bits
+  | Span_enter { path } -> Format.fprintf ppf "span enter %s" path
+  | Span_exit { path } -> Format.fprintf ppf "span exit %s" path
 
 (* hand-rolled JSONL: no JSON library in the dependency set, and the
    emitted shapes are flat objects of ints plus one escaped string *)
@@ -305,6 +414,10 @@ let event_to_jsonl = function
       Printf.sprintf
         {|{"ev":"cost_charged","tag":"%s","rounds":%d,"messages":%d,"max_bits":%d}|}
         (escape tag) rounds messages max_bits
+  | Span_enter { path } ->
+      Printf.sprintf {|{"ev":"span_enter","path":"%s"}|} (escape path)
+  | Span_exit { path } ->
+      Printf.sprintf {|{"ev":"span_exit","path":"%s"}|} (escape path)
 
 (* minimal field extraction matching the printer above; tolerant of
    whitespace after ':' so externally pretty-printed lines also parse *)
@@ -441,6 +554,12 @@ let event_of_jsonl line =
       let* messages = field_int line "messages" in
       let* max_bits = field_int line "max_bits" in
       Ok (Cost_charged { tag; rounds; messages; max_bits })
+  | "span_enter" ->
+      let* path = field_string line "path" in
+      Ok (Span_enter { path })
+  | "span_exit" ->
+      let* path = field_string line "path" in
+      Ok (Span_exit { path })
   | ev -> Error (Printf.sprintf "unknown event kind %S" ev)
 
 let to_jsonl s =

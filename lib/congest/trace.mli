@@ -56,13 +56,22 @@ type event =
       messages : int;
       max_bits : int;
     }  (** step-granular {!Cost.charge} accounting, for engine-level runs *)
+  | Span_enter of { path : string }
+      (** a named phase opened; [path] is the full ["/"]-joined nesting,
+          e.g. ["netdecomp/color=3/transform/level=7"]. Carries no
+          wall-clock time so traces of identical runs stay byte-identical
+          (see {!span_seconds}). *)
+  | Span_exit of { path : string }  (** the matching close *)
 
 type sink
 
-val sink : ?capacity:int -> unit -> sink
+val sink : ?capacity:int -> ?spans:bool -> unit -> sink
 (** Fresh empty sink. At most [capacity] events are retained (default
     1_000_000); later events are counted in {!truncated} but not stored,
-    bounding memory on very long runs. *)
+    bounding memory on very long runs. [spans] (default [true]) controls
+    whether {!enter_span}/{!exit_span} record anything — [~spans:false]
+    gives a tracing-only sink with the span machinery compiled to
+    no-ops, the baseline the overhead budget is measured against. *)
 
 val record : sink -> event -> unit
 
@@ -75,6 +84,29 @@ val emit_message_sent :
 
 val emit_message_delivered : sink -> round:int -> src:int -> dst:int -> unit
 (** As {!emit_message_sent}, for {!constructor-Message_delivered}. *)
+
+val enter_span : sink -> string -> unit
+(** Opens a phase named by one path segment; the recorded
+    {!constructor-Span_enter} carries the full path (the open ancestors
+    joined with ["/"]). Paths are interned in the same side table as
+    cost tags, so recording is packed-int like every other event. The
+    wall clock is read here but kept in sink-local side tables, not the
+    event stream. Most callers want {!Span.enter}, which takes the
+    [sink option] the run configuration carries. *)
+
+val exit_span : sink -> unit
+(** Closes the innermost open span, folding its elapsed wall time into
+    {!span_seconds}. @raise Invalid_argument when no span is open. *)
+
+val span_depth : sink -> int
+(** Number of currently open spans. *)
+
+val spans_enabled : sink -> bool
+
+val span_seconds : sink -> (string * float * float) list
+(** [(path, self, inclusive)] wall seconds accumulated over all closed
+    activations of each span path, sorted by path. Self excludes time
+    spent in child spans; inclusive is enter-to-exit. *)
 
 val length : sink -> int
 

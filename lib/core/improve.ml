@@ -42,8 +42,11 @@ let improve ?cost ~strong ?domain g ~epsilon =
       }
   in
   let active = ref [ Mask.copy domain ] in
+  let trace = Option.bind cost Congest.Cost.trace in
+  Congest.Span.enter trace "improve";
   while List.exists (fun m -> Mask.count m > 0) !active do
     stats := { !stats with levels = !stats.levels + 1 };
+    Congest.Span.enter_idx trace "level" !stats.levels;
     (* one carving invocation on the union of all active parts; parts are
        pairwise non-adjacent so each resulting cluster stays in one part *)
     let union = Mask.empty n_graph in
@@ -80,7 +83,9 @@ let improve ?cost ~strong ?domain g ~epsilon =
     | Some c ->
         Congest.Cost.parallel c !sub_meters
           (Printf.sprintf "improve.level_%02d" !stats.levels));
-    active := !next_active
+    active := !next_active;
+    Congest.Span.exit trace
   done;
+  Congest.Span.exit trace;
   let clustering = Cluster.Clustering.make g ~cluster_of:output in
   (Cluster.Carving.make clustering ~domain, !stats)

@@ -9,7 +9,10 @@ let of_carver ?cost ?(epsilon = 0.5) ?domain (carver : Strong_carving.carver) g
   let node_color = Array.make n (-1) in
   let next_cluster = ref 0 in
   let color = ref 0 in
+  let trace = Option.bind cost Congest.Cost.trace in
+  Congest.Span.enter trace "netdecomp";
   while Mask.count remaining > 0 do
+    Congest.Span.enter_idx trace "color" !color;
     let carving = carver ?cost ~domain:remaining g ~epsilon in
     let clustering = carving.Cluster.Carving.clustering in
     if Cluster.Clustering.clustered_count clustering = 0 then
@@ -25,8 +28,10 @@ let of_carver ?cost ?(epsilon = 0.5) ?domain (carver : Strong_carving.carver) g
             Mask.remove remaining v)
           members)
       (Cluster.Clustering.clusters clustering);
-    incr color
+    incr color;
+    Congest.Span.exit trace
   done;
+  Congest.Span.exit trace;
   let clustering = Cluster.Clustering.make g ~cluster_of in
   (* [Clustering.make] renumbers clusters by first node appearance, so read
      each cluster's color back off one of its members *)

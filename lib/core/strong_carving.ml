@@ -10,14 +10,22 @@ let weak_of_preset preset : Transform.weak_carver =
 
 let carve ?cost ?(preset = Weakdiam.Weak_carving.default_preset) ?domain g
     ~epsilon =
-  Transform.strong_carve ?cost ~weak:(weak_of_preset preset) ?domain g ~epsilon
+  Congest.Span.with_span
+    (Option.bind cost Congest.Cost.trace)
+    "strong_carving"
+    (fun () ->
+      Transform.strong_carve ?cost ~weak:(weak_of_preset preset) ?domain g
+        ~epsilon)
 
 let carve_improved ?cost ?(preset = Weakdiam.Weak_carving.default_preset)
     ?domain g ~epsilon =
   let strong ?cost g ~domain ~epsilon =
     fst (carve ?cost ~preset ~domain g ~epsilon)
   in
-  Improve.improve ?cost ~strong ?domain g ~epsilon
+  Congest.Span.with_span
+    (Option.bind cost Congest.Cost.trace)
+    "strong_carving_improved"
+    (fun () -> Improve.improve ?cost ~strong ?domain g ~epsilon)
 
 type carver =
   ?cost:Congest.Cost.t ->

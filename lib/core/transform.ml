@@ -51,7 +51,10 @@ let strong_carve ?cost ~weak ?domain g ~epsilon =
      level execute in parallel; we meter each separately and merge. *)
   let level = ref (Components.components ~mask:domain g |> List.map (Mask.of_list n_graph)) in
   let i = ref 1 in
+  let trace = Option.bind cost Congest.Cost.trace in
+  Congest.Span.enter trace "transform";
   while !level <> [] do
+    Congest.Span.enter_idx trace "level" !i;
     incr iterations;
     let threshold = float_of_int n /. (2.0 ** float_of_int !i) in
     let next_level = ref [] in
@@ -137,8 +140,10 @@ let strong_carve ?cost ~weak ?domain g ~epsilon =
         Congest.Cost.parallel c !sub_meters
           (Printf.sprintf "transform.level_%02d" !i));
     level := !next_level;
-    incr i
+    incr i;
+    Congest.Span.exit trace
   done;
+  Congest.Span.exit trace;
   let clustering = Cluster.Clustering.make g ~cluster_of:output in
   let carving = Cluster.Carving.make clustering ~domain in
   ( carving,
@@ -157,6 +162,8 @@ let strong_carve_unknown_n ?cost ~weak ?domain g ~epsilon =
   let n_graph = Graph.n g in
   let domain = match domain with Some d -> d | None -> Mask.full n_graph in
   let half = epsilon /. 2.0 in
+  let trace = Option.bind cost Congest.Cost.trace in
+  Congest.Span.enter trace "transform_unknown_n";
   let pre = weak ?cost g ~domain ~epsilon:half in
   let output = Array.make n_graph (-1) in
   let next = ref 0 in
@@ -180,5 +187,6 @@ let strong_carve_unknown_n ?cost ~weak ?domain g ~epsilon =
   (match cost with
   | None -> ()
   | Some c -> Congest.Cost.parallel c !sub_meters "transform.unknown_n");
+  Congest.Span.exit trace;
   let clustering = Cluster.Clustering.make g ~cluster_of:output in
   Cluster.Carving.make clustering ~domain

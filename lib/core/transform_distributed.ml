@@ -18,7 +18,7 @@ let log2_ceil n =
 
 type bfs_state = { dist : int; parent : int; announced : bool }
 
-let bfs_stage g ~mask ~source =
+let bfs_stage ?trace g ~mask ~source =
   let n = Graph.n g in
   let msg_bits = Congest.Bits.int_bits (max 1 n) in
   let program =
@@ -54,7 +54,11 @@ let bfs_stage g ~mask ~source =
             else (state, [], true));
     }
   in
-  let states, stats = Congest.Sim.simulate ~bits:(fun _ -> msg_bits) g program in
+  let states, stats =
+    Congest.Sim.simulate
+      ~config:{ Congest.Sim.Config.default with trace }
+      ~bits:(fun _ -> msg_bits) g program
+  in
   ( Array.map (fun s -> s.dist) states,
     Array.map (fun s -> s.parent) states,
     stats )
@@ -74,7 +78,7 @@ type count_state = {
   sent_up : bool;
 }
 
-let pair_counts_stage g ~parent ~contrib =
+let pair_counts_stage ?trace g ~parent ~contrib =
   let n = Graph.n g in
   let msg_bits = (2 * Congest.Bits.int_bits (max 1 n)) + 2 in
   let program =
@@ -118,6 +122,7 @@ let pair_counts_stage g ~parent ~contrib =
   in
   let states, stats =
     Congest.Sim.simulate
+      ~config:{ Congest.Sim.Config.default with trace }
       ~bits:(fun m -> match m with Child -> 1 | Pair _ -> msg_bits)
       g program
   in
@@ -129,7 +134,7 @@ let pair_counts_stage g ~parent ~contrib =
 
 type bcast_state = { value : int; relayed : bool }
 
-let broadcast_stage g ~parent ~root ~value =
+let broadcast_stage ?trace g ~parent ~root ~value =
   let n = Graph.n g in
   let msg_bits = Congest.Bits.int_bits (max 1 (n + value)) in
   (* children lists derived implicitly: a node relays to neighbors that
@@ -159,14 +164,19 @@ let broadcast_stage g ~parent ~root ~value =
             else (state, [], state.value >= 0));
     }
   in
-  let states, stats = Congest.Sim.simulate ~bits:(fun _ -> msg_bits) g program in
+  let states, stats =
+    Congest.Sim.simulate
+      ~config:{ Congest.Sim.Config.default with trace }
+      ~bits:(fun _ -> msg_bits) g program
+  in
   (Array.map (fun s -> s.value) states, stats)
 
 (* ------------------------------------------------------------------ *)
 (* The composed transformation                                          *)
 (* ------------------------------------------------------------------ *)
 
-let strong_carve ?(preset = Weakdiam.Weak_carving.default_preset) g ~epsilon =
+let strong_carve ?(preset = Weakdiam.Weak_carving.default_preset) ?trace g
+    ~epsilon =
   if epsilon <= 0.0 || epsilon >= 1.0 then
     invalid_arg "Transform_distributed.strong_carve: epsilon must be in (0, 1)";
   let n_graph = Graph.n g in
@@ -190,7 +200,9 @@ let strong_carve ?(preset = Weakdiam.Weak_carving.default_preset) g ~epsilon =
   in
   let level = ref (Components.components g |> List.map (Mask.of_list n_graph)) in
   let i = ref 1 in
+  Congest.Span.enter trace "transform_sim";
   while !level <> [] do
+    Congest.Span.enter_idx trace "iter" !i;
     incr iterations;
     let threshold = float_of_int n /. (2.0 ** float_of_int !i) in
     let next_level = ref [] in
@@ -201,7 +213,10 @@ let strong_carve ?(preset = Weakdiam.Weak_carving.default_preset) g ~epsilon =
           Mask.iter comp (fun v -> output.(v) <- fresh ())
         else begin
           (* stage W: distributed weak carving on this component *)
-          let wd = Weakdiam.Distributed.carve ~preset ~domain:comp g ~epsilon:eps' in
+          let wd =
+            Weakdiam.Distributed.carve ~preset ~domain:comp ?trace g
+              ~epsilon:eps'
+          in
           if not (Weakdiam.Distributed.matches_engine wd) then
             all_matched := false;
           note_bits wd.Weakdiam.Distributed.sim_stats;
@@ -233,7 +248,9 @@ let strong_carve ?(preset = Weakdiam.Weak_carving.default_preset) g ~epsilon =
               wd.Weakdiam.Distributed.engine.Weakdiam.Weak_carving.forest.(giant)
                 .Cluster.Steiner.root
             in
-            let dist, parent, b1 = bfs_stage g ~mask:comp ~source:root in
+            Congest.Span.enter trace "bfs";
+            let dist, parent, b1 = bfs_stage ?trace g ~mask:comp ~source:root in
+            Congest.Span.exit trace;
             note_bits b1;
             let stage_rounds = ref b1.Congest.Sim.rounds_used in
             let maxd = Array.fold_left max 0 dist in
@@ -243,13 +260,15 @@ let strong_carve ?(preset = Weakdiam.Weak_carving.default_preset) g ~epsilon =
             in
             let ball_count r =
               (* one simulated paired-count convergecast *)
+              Congest.Span.enter trace "pair_counts";
               let totals, s =
-                pair_counts_stage g ~parent ~contrib:(fun v ->
+                pair_counts_stage ?trace g ~parent ~contrib:(fun v ->
                     if dist.(v) < 0 then (0, 0)
                     else
                       ( (if dist.(v) <= r then 1 else 0),
                         if dist.(v) <= r + 1 then 1 else 0 ))
               in
+              Congest.Span.exit trace;
               note_bits s;
               stage_rounds := !stage_rounds + s.Congest.Sim.rounds_used;
               totals.(root)
@@ -263,7 +282,11 @@ let strong_carve ?(preset = Weakdiam.Weak_carving.default_preset) g ~epsilon =
                 else find (r + 1)
             in
             let r_star = find lo in
-            let r_known, b3 = broadcast_stage g ~parent ~root ~value:r_star in
+            Congest.Span.enter trace "broadcast";
+            let r_known, b3 =
+              broadcast_stage ?trace g ~parent ~root ~value:r_star
+            in
+            Congest.Span.exit trace;
             note_bits b3;
             stage_rounds := !stage_rounds + b3.Congest.Sim.rounds_used;
             iter_ball := max !iter_ball !stage_rounds;
@@ -287,8 +310,10 @@ let strong_carve ?(preset = Weakdiam.Weak_carving.default_preset) g ~epsilon =
     weak_rounds := !weak_rounds + !iter_weak;
     ball_rounds := !ball_rounds + !iter_ball;
     level := !next_level;
-    incr i
+    incr i;
+    Congest.Span.exit trace
   done;
+  Congest.Span.exit trace;
   let clustering = Cluster.Clustering.make g ~cluster_of:output in
   let carving = Cluster.Carving.make clustering ~domain:(Mask.full n_graph) in
   ( carving,

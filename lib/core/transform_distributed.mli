@@ -32,9 +32,15 @@ type stats = {
 
 val strong_carve :
   ?preset:Weakdiam.Weak_carving.preset ->
+  ?trace:Congest.Trace.sink ->
   Dsgraph.Graph.t ->
   epsilon:float ->
   Cluster.Carving.t * stats
+(** When [trace] is attached, every stage's simulated run reports into
+    it, bracketed by spans
+    [transform_sim/iter=<i>/{weakdiam_sim,bfs,pair_counts,broadcast}]
+    so per-stage rounds and messages can be rolled up with
+    {!Congest.Span.rollups}. *)
 
 val matches_centralized :
   ?preset:Weakdiam.Weak_carving.preset ->

@@ -340,7 +340,11 @@ let build ?(preset = Weak_carving.default_preset) ?domain g ~epsilon =
   }
 
 let carve ?preset ?domain ?trace g ~epsilon =
-  let b = build ?preset ?domain g ~epsilon in
+  Congest.Span.enter trace "weakdiam_sim";
+  let b =
+    Congest.Span.with_span trace "engine" (fun () ->
+        build ?preset ?domain g ~epsilon)
+  in
   let config =
     {
       Congest.Sim.Config.default with
@@ -349,9 +353,12 @@ let carve ?preset ?domain ?trace g ~epsilon =
       trace;
     }
   in
+  Congest.Span.enter trace "simulate";
   let states, sim_stats =
     Congest.Sim.simulate ~config ~bits:b.b_bits g b.b_program
   in
+  Congest.Span.exit trace;
+  Congest.Span.exit trace;
   let cluster_of = Array.map (fun st -> st.label) states in
   let clustering = Cluster.Clustering.make g ~cluster_of in
   let carving = Cluster.Carving.make clustering ~domain:b.b_domain in
@@ -379,7 +386,11 @@ type reliable_result = {
 
 let carve_reliable ?adversary ?(liveness_timeout = 64) ?preset ?domain ?trace
     g ~epsilon =
-  let b = build ?preset ?domain g ~epsilon in
+  Congest.Span.enter trace "weakdiam_reliable";
+  let b =
+    Congest.Span.with_span trace "engine" (fun () ->
+        build ?preset ?domain g ~epsilon)
+  in
   (* Sizing oracle: the program is deterministic, so a fault-free run
      tells us exactly how many inner rounds the computation needs; the
      wrapper then executes that many plus slack. Running the program value
@@ -392,7 +403,8 @@ let carve_reliable ?adversary ?(liveness_timeout = 64) ?preset ?domain ?trace
     }
   in
   let _, oracle_stats =
-    Congest.Sim.simulate ~config:oracle_config ~bits:b.b_bits g b.b_program
+    Congest.Span.with_span trace "oracle" (fun () ->
+        Congest.Sim.simulate ~config:oracle_config ~bits:b.b_bits g b.b_program)
   in
   let oracle_rounds = oracle_stats.Congest.Sim.rounds_used in
   let inner_rounds = oracle_rounds + b.b_step_budget + 8 in
@@ -406,7 +418,10 @@ let carve_reliable ?adversary ?(liveness_timeout = 64) ?preset ?domain ?trace
       trace;
     }
   in
+  Congest.Span.enter trace "simulate";
   let r = Congest.Reliable.simulate ~sim cfg ~bits:b.b_bits g b.b_program in
+  Congest.Span.exit trace;
+  Congest.Span.exit trace;
   let cluster_of =
     Array.map (fun st -> st.label) r.Congest.Reliable.states
   in

@@ -190,11 +190,16 @@ let carve ?(preset = default_preset) ?cost ?domain g ~epsilon =
       end
     done
   in
+  let trace = Option.bind cost Congest.Cost.trace in
+  Congest.Span.enter trace "weak_carving";
   for bit = 0 to b - 1 do
+    Congest.Span.enter_idx trace "phase" bit;
     let before = !total_steps in
     run_phase bit;
-    phase_steps := (!total_steps - before) :: !phase_steps
+    phase_steps := (!total_steps - before) :: !phase_steps;
+    Congest.Span.exit trace
   done;
+  Congest.Span.exit trace;
   (* Assemble the output: dense cluster ids in order of first appearance by
      node index, so that [Clustering.make]'s normalization is the
      identity and the forest indexing matches. *)

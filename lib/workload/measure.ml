@@ -20,27 +20,27 @@ type decomp_row = {
 }
 
 type carve_row = {
-  c_algorithm : string;
-  c_reference : string;
-  c_kind : Algorithms.kind;
-  c_family : string;
-  c_n : int;
-  c_epsilon : float;
-  c_strong_diameter : int option;
-  c_weak_diameter : int;
-  c_dead_fraction : float;
-  c_rounds : int;
-  c_max_message_bits : int;
-  c_valid : bool;
-  c_seconds : float;
-  c_trace : Congest.Trace.sink option;
+  algorithm : string;
+  reference : string;
+  kind : Algorithms.kind;
+  family : string;
+  n : int;
+  epsilon : float;
+  strong_diameter : int option;
+  weak_diameter : int;
+  dead_fraction : float;
+  rounds : int;
+  max_message_bits : int;
+  valid : bool;
+  seconds : float;
+  trace : Congest.Trace.sink option;
 }
 
 (* the clustering estimators use -1 as "no strong diameter exists" *)
 let diameter_opt d = if d < 0 then None else Some d
 
 let decomposition_row ?(seed = 42) ?trace (d : Algorithms.decomposer) family
-    ~n =
+    ~n : decomp_row =
   let g = family.Suite.build ~seed ~n in
   let cost = Congest.Cost.create ?trace () in
   let t0 = Unix.gettimeofday () in
@@ -80,22 +80,22 @@ let decomposition_row ?(seed = 42) ?trace (d : Algorithms.decomposer) family
   }
 
 let carving_row ?(seed = 42) ?trace (c : Algorithms.carver) family ~n ~epsilon
-    =
+    : carve_row =
   let g = family.Suite.build ~seed ~n in
   let cost = Congest.Cost.create ?trace () in
   let t0 = Unix.gettimeofday () in
   let carving = c.run ~cost ~seed g ~epsilon in
-  let c_seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Unix.gettimeofday () -. t0 in
   let clustering = carving.Cluster.Carving.clustering in
-  let c_strong_diameter =
+  let strong_diameter =
     diameter_opt (Cluster.Clustering.max_strong_diameter_estimate clustering)
   in
-  let c_weak_diameter = Cluster.Clustering.max_weak_diameter_estimate clustering in
-  let c_valid =
+  let weak_diameter = Cluster.Clustering.max_weak_diameter_estimate clustering in
+  let valid =
     match c.kind with
     | Algorithms.Weak -> (
         match Cluster.Carving.check_weak ~epsilon carving with
-        | Ok () -> c_weak_diameter >= 0
+        | Ok () -> weak_diameter >= 0
         | Error _ -> false)
     | Algorithms.Strong -> (
         match Cluster.Carving.check_strong ~epsilon carving with
@@ -103,20 +103,20 @@ let carving_row ?(seed = 42) ?trace (c : Algorithms.carver) family ~n ~epsilon
         | Error _ -> false)
   in
   {
-    c_algorithm = c.name;
-    c_reference = c.reference;
-    c_kind = c.kind;
-    c_family = family.Suite.name;
-    c_n = Graph.n g;
-    c_epsilon = epsilon;
-    c_strong_diameter;
-    c_weak_diameter;
-    c_dead_fraction = Cluster.Carving.dead_fraction carving;
-    c_rounds = Congest.Cost.rounds cost;
-    c_max_message_bits = Congest.Cost.max_message_bits cost;
-    c_valid;
-    c_seconds;
-    c_trace = trace;
+    algorithm = c.name;
+    reference = c.reference;
+    kind = c.kind;
+    family = family.Suite.name;
+    n = Graph.n g;
+    epsilon;
+    strong_diameter;
+    weak_diameter;
+    dead_fraction = Cluster.Carving.dead_fraction carving;
+    rounds = Congest.Cost.rounds cost;
+    max_message_bits = Congest.Cost.max_message_bits cost;
+    valid;
+    seconds;
+    trace;
   }
 
 let kind_label = function Algorithms.Weak -> "weak" | Algorithms.Strong -> "strong"
@@ -135,7 +135,7 @@ let pp_decomp_table fmt rows =
     "algo" "kind" "model" "family" "n" "m" "colors" "sDiam" "wDiam" "rounds"
     "maxbits" "valid" "secs";
   List.iter
-    (fun r ->
+    (fun (r : decomp_row) ->
       Format.fprintf fmt
         "%-10s %-6s %-5s %-9s %6d %7d %7d %6s %6d %10d %8d %6s %8.2f@."
         r.algorithm (kind_label r.kind) (model_label r.model) r.family r.n r.m
@@ -151,16 +151,16 @@ let pp_carve_table fmt rows =
     "algo" "kind" "family" "n" "eps" "sDiam" "wDiam" "dead%" "rounds" "maxbits"
     "valid" "secs";
   List.iter
-    (fun r ->
+    (fun (r : carve_row) ->
       Format.fprintf fmt
         "%-10s %-6s %-9s %6d %6.3f %6s %6d %6.1f %10d %8d %6s %8.2f@."
-        r.c_algorithm (kind_label r.c_kind) r.c_family r.c_n r.c_epsilon
-        (diam_cell r.c_strong_diameter)
-        r.c_weak_diameter
-        (100.0 *. r.c_dead_fraction)
-        r.c_rounds r.c_max_message_bits
-        (if r.c_valid then "ok" else "FAIL")
-        r.c_seconds)
+        r.algorithm (kind_label r.kind) r.family r.n r.epsilon
+        (diam_cell r.strong_diameter)
+        r.weak_diameter
+        (100.0 *. r.dead_fraction)
+        r.rounds r.max_message_bits
+        (if r.valid then "ok" else "FAIL")
+        r.seconds)
     rows
 
 let decomp_csv rows =
@@ -168,7 +168,7 @@ let decomp_csv rows =
   Buffer.add_string buf
     "algorithm,kind,model,family,n,m,colors,strong_diameter,weak_diameter,rounds,messages,max_message_bits,valid,seconds\n";
   List.iter
-    (fun r ->
+    (fun (r : decomp_row) ->
       Buffer.add_string buf
         (Printf.sprintf "%s,%s,%s,%s,%d,%d,%d,%s,%d,%d,%d,%d,%b,%.4f\n"
            r.algorithm (kind_label r.kind) (model_label r.model) r.family r.n
@@ -184,12 +184,12 @@ let carve_csv rows =
   Buffer.add_string buf
     "algorithm,kind,family,n,epsilon,strong_diameter,weak_diameter,dead_fraction,rounds,max_message_bits,valid,seconds\n";
   List.iter
-    (fun r ->
+    (fun (r : carve_row) ->
       Buffer.add_string buf
         (Printf.sprintf "%s,%s,%s,%d,%.4f,%s,%d,%.4f,%d,%d,%b,%.4f\n"
-           r.c_algorithm (kind_label r.c_kind) r.c_family r.c_n r.c_epsilon
-           (diam_csv r.c_strong_diameter)
-           r.c_weak_diameter r.c_dead_fraction r.c_rounds r.c_max_message_bits
-           r.c_valid r.c_seconds))
+           r.algorithm (kind_label r.kind) r.family r.n r.epsilon
+           (diam_csv r.strong_diameter)
+           r.weak_diameter r.dead_fraction r.rounds r.max_message_bits
+           r.valid r.seconds))
     rows;
   Buffer.contents buf

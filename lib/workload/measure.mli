@@ -30,20 +30,20 @@ type decomp_row = {
 }
 
 type carve_row = {
-  c_algorithm : string;
-  c_reference : string;
-  c_kind : Algorithms.kind;
-  c_family : string;
-  c_n : int;
-  c_epsilon : float;
-  c_strong_diameter : int option;  (** as {!decomp_row.strong_diameter} *)
-  c_weak_diameter : int;
-  c_dead_fraction : float;
-  c_rounds : int;
-  c_max_message_bits : int;
-  c_valid : bool;
-  c_seconds : float;
-  c_trace : Congest.Trace.sink option;
+  algorithm : string;
+  reference : string;
+  kind : Algorithms.kind;
+  family : string;
+  n : int;
+  epsilon : float;
+  strong_diameter : int option;  (** as {!decomp_row.strong_diameter} *)
+  weak_diameter : int;
+  dead_fraction : float;
+  rounds : int;
+  max_message_bits : int;
+  valid : bool;
+  seconds : float;
+  trace : Congest.Trace.sink option;
 }
 
 val decomposition_row :

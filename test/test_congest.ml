@@ -146,7 +146,7 @@ let test_sim_rejects_non_neighbor () =
     }
   in
   Alcotest.check_raises "non neighbor"
-    (Invalid_argument "Sim.run: node 0 sent to non-neighbor 2") (fun () ->
+    (Invalid_argument "Sim.simulate: node 0 sent to non-neighbor 2") (fun () ->
       ignore (Sim.simulate ~bits:(fun _ -> 1) g bad))
 
 let test_sim_rejects_double_send () =
@@ -160,7 +160,7 @@ let test_sim_rejects_double_send () =
     }
   in
   Alcotest.check_raises "double send"
-    (Invalid_argument "Sim.run: node 0 sent twice to 1 in one round") (fun () ->
+    (Invalid_argument "Sim.simulate: node 0 sent twice to 1 in one round") (fun () ->
       ignore (Sim.simulate ~bits:(fun _ -> 1) g bad))
 
 let test_sim_max_rounds_cutoff () =

@@ -1,8 +1,7 @@
 (* Tests for the observability layer: Congest.Trace event streams checked
    against the simulator's own stats (for a weak and a strong algorithm,
    fault-free and adversarial), JSONL round-trips, the packed sink's
-   allocation behavior, Metrics derivation, and the deprecated Sim.run /
-   Reliable.run shims. *)
+   allocation behavior, and Metrics derivation. *)
 
 open Dsgraph
 module Sim = Congest.Sim
@@ -198,6 +197,8 @@ let all_variants =
     Trace.Bandwidth_high_water { round = 5; node = 0; bits = 15 };
     Trace.Cost_charged
       { tag = "level \"0\"\nweird\\tag"; rounds = 9; messages = 40; max_bits = 16 };
+    Trace.Span_enter { path = "netdecomp/color=3/steiner" };
+    Trace.Span_exit { path = "netdecomp/color=3/steiner" };
   ]
 
 let test_jsonl_round_trip () =
@@ -326,51 +327,6 @@ let test_measure_row_carries_trace () =
   check bool "strong diameter present" true
     (row.Workload.Measure.strong_diameter <> None)
 
-(* ------------------------------------------------------------------ *)
-(* Deprecated shims                                                     *)
-(* ------------------------------------------------------------------ *)
-
-(* Sim.run / Reliable.run stay for one PR; they must behave exactly like
-   simulate with the equivalent config *)
-module Shim : sig
-  val run : unit -> unit
-end = struct
-  [@@@ocaml.alert "-deprecated"]
-
-  (* min-id flooding, the same program both ways *)
-  let flood g =
-    {
-      Sim.init = (fun ~node ~neighbors:_ -> node);
-      round =
-        (fun ~node:_ ~state ~inbox ->
-          let best = List.fold_left (fun acc (_, v) -> min acc v) state inbox in
-          let send =
-            if best < state || inbox = [] then
-              Array.to_list (Array.map (fun u -> (u, best)) (Graph.neighbors g 0))
-            else []
-          in
-          ignore send;
-          (best, [], true));
-    }
-
-  let run () =
-    let g = Gen.grid 5 5 in
-    let states_new, stats_new =
-      Sim.simulate
-        ~config:Sim.Config.(default |> with_max_rounds 7)
-        ~bits:(fun _ -> 8)
-        g (flood g)
-    in
-    let states_old, stats_old =
-      Sim.run ~max_rounds:7 ~bits:(fun _ -> 8) g (flood g)
-    in
-    check bool "same states" true (states_old = states_new);
-    check int "same rounds" stats_new.Sim.rounds_used stats_old.Sim.rounds_used;
-    check int "same messages" stats_new.Sim.total_messages
-      stats_old.Sim.total_messages
-end
-
-let test_deprecated_shim () = Shim.run ()
 
 let () =
   Alcotest.run "trace"
@@ -415,6 +371,5 @@ let () =
           Alcotest.test_case "cost charges traced" `Quick test_cost_charges_traced;
           Alcotest.test_case "measure row carries trace" `Quick
             test_measure_row_carries_trace;
-          Alcotest.test_case "deprecated shim" `Quick test_deprecated_shim;
         ] );
     ]

@@ -92,9 +92,9 @@ let test_carving_rows_valid () =
     (fun name ->
       let c = Algorithms.find_carver name in
       let row = Measure.carving_row ~seed:11 c Suite.path ~n:128 ~epsilon:0.5 in
-      check bool (name ^ " row valid") true row.Measure.c_valid;
+      check bool (name ^ " row valid") true row.Measure.valid;
       check bool (name ^ " dead within eps") true
-        (row.Measure.c_dead_fraction <= 0.5 +. 1e-9))
+        (row.Measure.dead_fraction <= 0.5 +. 1e-9))
     [ "ls93"; "rg20"; "ggr21"; "mpx"; "thm2.2"; "thm3.3" ]
 
 let test_csv_shape () =
