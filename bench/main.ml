@@ -27,6 +27,7 @@ let mode =
   | _ :: "quick" :: _ -> `Quick
   | _ :: "faults" :: _ -> `Faults
   | _ :: "trace" :: _ -> `Trace
+  | _ :: "conform" :: _ -> `Conform
   | _ :: "record" :: _ -> `Record
   | _ -> `Standard
 
@@ -782,6 +783,78 @@ let span_overhead_experiment () =
   Format.pp_print_flush fmt ();
   rows
 
+(* C.CONF: wall-clock cost of the model-invariant verifier's per-round
+   instrumentation over a plain traced run. The always-on checks (edge
+   discipline + halt monotonicity) must stay within the ~10% budget;
+   order-invariant workloads additionally re-run every multi-message
+   round on the reversed inbox, which deliberately doubles round work,
+   so they are labeled and judged separately. *)
+let conform_overhead_experiment () =
+  section
+    "C.CONF -- wall-clock overhead of conformance instrumentation over \
+     tracing alone";
+  Format.fprintf fmt
+    "Both columns attach a sink; 'verified' additionally wraps the \
+     program in@.Congest.Conformance.instrument. traced2 re-runs the \
+     tracing-only batch as the@.noise floor. Budget: overhead%% <= 10 for \
+     the (c)-(d) checks; rows marked OI@.also pay the inbox-reversal \
+     re-run of invariant (e).@.@.";
+  let reps = match mode with `Quick -> 3 | _ -> 9 in
+  let er = Suite.erdos_renyi.Suite.build ~seed ~n:96 in
+  let grid = Gen.grid 8 8 in
+  let workloads =
+    [
+      ( "leader_election/er96 OI",
+        200,
+        Some true,
+        fun conformance trace ->
+          ignore (Congest.Programs.leader_election ?conformance ?trace er) );
+      ( "bfs/er96",
+        200,
+        Some false,
+        fun conformance trace ->
+          ignore (Congest.Programs.bfs ?conformance ?trace er ~source:0) );
+      ( "weak_carve_sim/grid64",
+        2,
+        Some false,
+        fun conformance trace ->
+          ignore (Weakdiam.Distributed.carve ?conformance ?trace grid ~epsilon:0.5)
+      );
+    ]
+  in
+  Format.fprintf fmt "%-24s %5s %10s %10s %10s %10s %10s@." "workload" "reps"
+    "traced(s)" "verified" "traced2(s)" "overhead%" "floor%";
+  let rows =
+    List.map
+      (fun (name, iters, order_invariant, exec) ->
+        let sink = Congest.Trace.sink () in
+        let rec_ = Congest.Conformance.recorder () in
+        let g = if name = "weak_carve_sim/grid64" then grid else er in
+        let inst =
+          Congest.Conformance.instrumentor ?order_invariant rec_ g
+        in
+        let batch verified () =
+          for _ = 1 to iters do
+            Congest.Trace.clear sink;
+            Congest.Conformance.clear rec_;
+            exec (if verified then Some inst else None) (Some sink)
+          done
+        in
+        batch true ();
+        batch false ();
+        let off = median_seconds ~reps (batch false) in
+        let on = median_seconds ~reps (batch true) in
+        let off2 = median_seconds ~reps (batch false) in
+        let pct a b = 100.0 *. (a -. b) /. Float.max b 1e-9 in
+        let overhead = pct on off and floor = pct off2 off in
+        Format.fprintf fmt "%-24s %5d %10.4f %10.4f %10.4f %10.2f %10.2f@."
+          name reps off on off2 overhead floor;
+        (name, reps, off, on, off2, overhead, floor))
+      workloads
+  in
+  Format.pp_print_flush fmt ();
+  rows
+
 (* sample artifacts so a bench run leaves an inspectable event stream *)
 let trace_artifacts () =
   let grid = Gen.grid 8 8 in
@@ -825,6 +898,28 @@ let run_trace_only () =
      trace_artifacts ();
      Format.fprintf fmt
        "@.CSV dumps written to bench_results/{trace,span}_overhead.csv@."
+   with Sys_error e -> Format.fprintf fmt "@.(skipping CSV dump: %s)@." e);
+  Format.fprintf fmt "@.total benchmark time: %.1f s@."
+    (Unix.gettimeofday () -. t0)
+
+let run_conform_only () =
+  let t0 = Unix.gettimeofday () in
+  let rows = conform_overhead_experiment () in
+  (try
+     let dir = "bench_results" in
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+     let oc = open_out (Filename.concat dir "conform_overhead.csv") in
+     output_string oc
+       "workload,reps,traced_seconds,verified_seconds,traced2_seconds,overhead_pct,floor_pct\n";
+     List.iter
+       (fun (name, reps, off, on, off2, overhead, floor) ->
+         output_string oc
+           (Printf.sprintf "%s,%d,%.6f,%.6f,%.6f,%.3f,%.3f\n" name reps off
+              on off2 overhead floor))
+       rows;
+     close_out oc;
+     Format.fprintf fmt
+       "@.CSV dump written to bench_results/conform_overhead.csv@."
    with Sys_error e -> Format.fprintf fmt "@.(skipping CSV dump: %s)@." e);
   Format.fprintf fmt "@.total benchmark time: %.1f s@."
     (Unix.gettimeofday () -. t0)
@@ -1041,17 +1136,20 @@ let () =
     "strongdecomp benchmark harness -- reproduction of Chang & Ghaffari, \
      PODC 2021@.mode: %s (pass 'full' for the n=16384 sweep, 'quick' for a \
      smoke test,@.'faults' for the graceful-degradation sweep only, 'trace' \
-     for the observability@.overhead experiments only, 'record' to append a \
-     headline snapshot to the@.persistent BENCH_trajectory.json)@."
+     for the observability@.overhead experiments only, 'conform' for the \
+     verifier-overhead experiment@.only, 'record' to append a headline \
+     snapshot to the@.persistent BENCH_trajectory.json)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
     | `Full -> "full"
     | `Faults -> "faults"
     | `Trace -> "trace"
+    | `Conform -> "conform"
     | `Record -> "record");
   if mode = `Faults then run_faults_only ()
   else if mode = `Trace then run_trace_only ()
+  else if mode = `Conform then run_conform_only ()
   else if mode = `Record then run_record_only ()
   else begin
   let t0 = Unix.gettimeofday () in

@@ -448,6 +448,90 @@ let profile_cmd =
       const run $ algo_pos $ family_pos $ n_arg $ seed_arg $ epsilon_arg
       $ out_dir_arg $ weight_arg)
 
+let conform_cmd =
+  let target_arg =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "What to verify: 'all' (registry + node programs), 'registry', \
+             'programs', or the name of a single registered decomposer or \
+             carver.")
+  in
+  let no_adversarial_arg =
+    Arg.(
+      value & flag
+      & info [ "no-adversarial" ]
+          ~doc:"Skip the seeded-adversary leg of the program checks.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full conformance reports as JSON to FILE.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write per-check CSV to FILE.")
+  in
+  let run target family n seed epsilon no_adversarial json out =
+    let family = lookup_family family in
+    let adversarial = not no_adversarial in
+    let rows =
+      match target with
+      | "all" -> Workload.Conform.suite ~seed ~epsilon ~adversarial family ~n
+      | "registry" -> Workload.Conform.registry_rows ~seed ~epsilon family ~n
+      | "programs" ->
+          Workload.Conform.program_rows ~seed ~epsilon ~adversarial:false
+            family ~n
+          @
+          if adversarial then
+            Workload.Conform.program_rows ~seed ~epsilon ~adversarial:true
+              family ~n
+          else []
+      | name -> (
+          match Algorithms.find_decomposer name with
+          | d -> [ Workload.Conform.decomposer_row ~seed d family ~n ]
+          | exception Not_found -> (
+              match Algorithms.find_carver name with
+              | c -> [ Workload.Conform.carver_row ~seed ~epsilon c family ~n ]
+              | exception Not_found ->
+                  Format.eprintf
+                    "unknown target %s (want all, registry, programs, or an \
+                     algorithm name)@."
+                    name;
+                  exit 2))
+    in
+    Workload.Conform.pp_table Format.std_formatter rows;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Workload.Conform.csv rows);
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Workload.Conform.to_json rows);
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    if List.exists (fun r -> not (Workload.Conform.ok r)) rows then exit 1
+  in
+  let doc =
+    "verify CONGEST model invariants (replay determinism, bandwidth \
+     cross-check, edge discipline, halt monotonicity, inbox-order \
+     robustness) over the algorithm registry and the node programs"
+  in
+  Cmd.v (Cmd.info "conform" ~doc)
+    Term.(
+      const run $ target_arg $ family_arg $ n_arg $ seed_arg $ epsilon_arg
+      $ no_adversarial_arg $ json_arg $ out_arg)
+
 let list_cmd =
   let run () =
     Format.printf "families:@.";
@@ -482,5 +566,6 @@ let () =
             faults_cmd;
             trace_cmd;
             profile_cmd;
+            conform_cmd;
             list_cmd;
           ]))

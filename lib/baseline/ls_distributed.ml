@@ -53,8 +53,14 @@ let build rng g ~epsilon =
 let cluster_of_states states =
   Array.map (fun s -> if s.best_slack >= 1 then s.best_prio else -1) states
 
-let attempt ?trace rng g ~epsilon =
+let wrap_conformance conformance program =
+  match conformance with
+  | None -> program
+  | Some c -> c.Congest.Conformance.instrument program
+
+let attempt ?conformance ?trace rng g ~epsilon =
   let cap, msg_bits, program = build rng g ~epsilon in
+  let program = wrap_conformance conformance program in
   let config =
     { Congest.Sim.Config.default with max_rounds = Some ((2 * cap) + 8); trace }
   in
@@ -73,9 +79,10 @@ type reliable_attempt = {
   inner_rounds : int;
 }
 
-let attempt_reliable ?adversary ?(liveness_timeout = 64) ?trace rng g ~epsilon
-    =
+let attempt_reliable ?adversary ?conformance ?(liveness_timeout = 64) ?trace
+    rng g ~epsilon =
   let cap, msg_bits, program = build rng g ~epsilon in
+  let program = wrap_conformance conformance program in
   (* the flood quiesces within 2*cap + 2 inner rounds; the rest is slack *)
   let inner_rounds = (2 * cap) + 8 in
   let cfg = Congest.Reliable.config ~inner_rounds ~liveness_timeout () in

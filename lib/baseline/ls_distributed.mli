@@ -18,6 +18,7 @@
     the test suite checks the simulator's actual round count agrees. *)
 
 val attempt :
+  ?conformance:Congest.Conformance.instrumentor ->
   ?trace:Congest.Trace.sink ->
   Dsgraph.Rng.t ->
   Dsgraph.Graph.t ->
@@ -26,7 +27,10 @@ val attempt :
 (** One carving attempt on the fault-free simulator: per-node cluster
     labels ([-1] = dead/boundary) and the measured statistics. Exposed for
     the fault experiments, which compare it against {!attempt_reliable}
-    run from an equal RNG state. *)
+    run from an equal RNG state. A [conformance] instrumentor wraps the
+    node program with the model-invariant checks; the program is pure and
+    order-invariant (its inbox fold is a lexicographic max), so it may be
+    instrumented with [~order_invariant:true]. *)
 
 type reliable_attempt = {
   cluster_of : int array;
@@ -41,6 +45,7 @@ type reliable_attempt = {
 
 val attempt_reliable :
   ?adversary:Congest.Fault.t ->
+  ?conformance:Congest.Conformance.instrumentor ->
   ?liveness_timeout:int ->
   ?trace:Congest.Trace.sink ->
   Dsgraph.Rng.t ->

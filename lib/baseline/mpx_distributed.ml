@@ -63,7 +63,7 @@ type nstate = {
   mutable round : int;
 }
 
-let partition ?(seed = 1) ?adversary ?trace g ~beta =
+let partition ?(seed = 1) ?adversary ?conformance ?trace g ~beta =
   if beta <= 0.0 then invalid_arg "Mpx_distributed.partition: beta must be positive";
   let n = Graph.n g in
   let delta, shift_cap = shifts ~seed g ~beta in
@@ -107,6 +107,11 @@ let partition ?(seed = 1) ?adversary ?trace g ~beta =
       adversary;
       trace;
     }
+  in
+  let program =
+    match conformance with
+    | None -> program
+    | Some c -> c.Congest.Conformance.instrument program
   in
   let states, sim_stats =
     Congest.Span.with_span trace "mpx_partition" (fun () ->

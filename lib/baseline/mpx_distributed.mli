@@ -20,6 +20,7 @@ type result = {
 val partition :
   ?seed:int ->
   ?adversary:Congest.Fault.t ->
+  ?conformance:Congest.Conformance.instrumentor ->
   ?trace:Congest.Trace.sink ->
   Dsgraph.Graph.t ->
   beta:float ->

@@ -7,9 +7,14 @@ open Dsgraph
 let config ?adversary ?trace () =
   { Sim.Config.default with adversary; trace }
 
+let wrap conformance program =
+  match conformance with
+  | None -> program
+  | Some c -> c.Conformance.instrument program
+
 type leader_state = { best : int; dirty : bool }
 
-let leader_election ?adversary ?trace g =
+let leader_election ?adversary ?conformance ?trace g =
   let n = Graph.n g in
   let id_bits = Bits.id_bits ~n in
   let program =
@@ -33,7 +38,7 @@ let leader_election ?adversary ?trace g =
   let states, stats =
     Sim.simulate ~config:(config ?adversary ?trace ())
       ~bits:(fun _ -> id_bits)
-      g program
+      g (wrap conformance program)
   in
   (Array.map (fun s -> s.best) states, stats)
 
@@ -43,7 +48,7 @@ let leader_election ?adversary ?trace g =
 
 type bfs_state = { dist : int; parent : int; announced : bool }
 
-let bfs ?adversary ?trace g ~source =
+let bfs ?adversary ?conformance ?trace g ~source =
   let n = Graph.n g in
   let msg_bits = Bits.int_bits (max 1 n) in
   let program =
@@ -82,7 +87,7 @@ let bfs ?adversary ?trace g ~source =
   let states, stats =
     Sim.simulate ~config:(config ?adversary ?trace ())
       ~bits:(fun _ -> msg_bits)
-      g program
+      g (wrap conformance program)
   in
   ((Array.map (fun s -> s.dist) states, Array.map (fun s -> s.parent) states), stats)
 
@@ -104,7 +109,7 @@ type count_state = {
    in rounds >= 2 and arrive in rounds >= 3. Hence after processing the
    round-2 inbox, [pending] equals the true child count, and from round 2 on
    [pending = 0] means the whole subtree has reported. *)
-let subtree_counts ?adversary ?trace g ~parent =
+let subtree_counts ?adversary ?conformance ?trace g ~parent =
   let n = Graph.n g in
   let msg_bits = Bits.int_bits (max 1 n) + 1 in
   let program =
@@ -144,6 +149,6 @@ let subtree_counts ?adversary ?trace g ~parent =
   let states, stats =
     Sim.simulate ~config:(config ?adversary ?trace ())
       ~bits:(fun m -> match m with Child -> 1 | Count _ -> msg_bits)
-      g program
+      g (wrap conformance program)
   in
   (Array.map (fun s -> s.total) states, stats)

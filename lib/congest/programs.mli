@@ -1,10 +1,19 @@
 (** Classic CONGEST node programs, used to validate the simulator and to
     anchor the {!Cost} charging formulas: a radius-[r] BFS wave really does
     take [r + O(1)] rounds, a convergecast over a depth-[d] tree takes
-    [d + O(1)] rounds, and all messages stay within [O(log n)] bits. *)
+    [d + O(1)] rounds, and all messages stay within [O(log n)] bits.
+
+    Every entry point accepts a {!Conformance.instrumentor}, so the model
+    invariants (edge discipline, halt monotonicity, inbox-order
+    robustness) can be checked on the programs themselves.
+    [leader_election] and [subtree_counts] fold their inboxes with
+    commutative operations (min / sums) and may be instrumented
+    order-invariant; [bfs] breaks distance ties by {e first arrival in
+    inbox order} when choosing a parent, so it must not be. *)
 
 val leader_election :
   ?adversary:Fault.t ->
+  ?conformance:Conformance.instrumentor ->
   ?trace:Trace.sink ->
   Dsgraph.Graph.t ->
   int array * Sim.stats
@@ -17,6 +26,7 @@ val leader_election :
 
 val bfs :
   ?adversary:Fault.t ->
+  ?conformance:Conformance.instrumentor ->
   ?trace:Trace.sink ->
   Dsgraph.Graph.t ->
   source:int ->
@@ -27,6 +37,7 @@ val bfs :
 
 val subtree_counts :
   ?adversary:Fault.t ->
+  ?conformance:Conformance.instrumentor ->
   ?trace:Trace.sink ->
   Dsgraph.Graph.t ->
   parent:int array ->

@@ -339,7 +339,15 @@ let build ?(preset = Weak_carving.default_preset) ?domain g ~epsilon =
     b_max_rounds = max_rounds;
   }
 
-let carve ?preset ?domain ?trace g ~epsilon =
+(* The node-program state is mutated in place, so a conformance wrapper
+   must never be registered order-invariant here: the (e) re-run would
+   corrupt the state. (c)/(d) are read-only and safe. *)
+let wrap_conformance conformance program =
+  match conformance with
+  | None -> program
+  | Some c -> c.Congest.Conformance.instrument program
+
+let carve ?conformance ?preset ?domain ?trace g ~epsilon =
   Congest.Span.enter trace "weakdiam_sim";
   let b =
     Congest.Span.with_span trace "engine" (fun () ->
@@ -355,7 +363,8 @@ let carve ?preset ?domain ?trace g ~epsilon =
   in
   Congest.Span.enter trace "simulate";
   let states, sim_stats =
-    Congest.Sim.simulate ~config ~bits:b.b_bits g b.b_program
+    Congest.Sim.simulate ~config ~bits:b.b_bits g
+      (wrap_conformance conformance b.b_program)
   in
   Congest.Span.exit trace;
   Congest.Span.exit trace;
@@ -384,8 +393,8 @@ type reliable_result = {
   r_engine : Weak_carving.result;
 }
 
-let carve_reliable ?adversary ?(liveness_timeout = 64) ?preset ?domain ?trace
-    g ~epsilon =
+let carve_reliable ?adversary ?conformance ?(liveness_timeout = 64) ?preset
+    ?domain ?trace g ~epsilon =
   Congest.Span.enter trace "weakdiam_reliable";
   let b =
     Congest.Span.with_span trace "engine" (fun () ->
@@ -419,7 +428,10 @@ let carve_reliable ?adversary ?(liveness_timeout = 64) ?preset ?domain ?trace
     }
   in
   Congest.Span.enter trace "simulate";
-  let r = Congest.Reliable.simulate ~sim cfg ~bits:b.b_bits g b.b_program in
+  let r =
+    Congest.Reliable.simulate ~sim cfg ~bits:b.b_bits g
+      (wrap_conformance conformance b.b_program)
+  in
   Congest.Span.exit trace;
   Congest.Span.exit trace;
   let cluster_of =

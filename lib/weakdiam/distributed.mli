@@ -31,6 +31,7 @@ type result = {
 }
 
 val carve :
+  ?conformance:Congest.Conformance.instrumentor ->
   ?preset:Weak_carving.preset ->
   ?domain:Dsgraph.Mask.t ->
   ?trace:Congest.Trace.sink ->
@@ -40,7 +41,10 @@ val carve :
 (** Runs the engine (for the schedule and as the comparison oracle), then
     the full synchronous simulation. [result.carving] is built from the
     {e simulated} node states. A [trace] sink observes the simulated
-    rounds and messages. *)
+    rounds and messages. A [conformance] instrumentor wraps the node
+    program with the model-invariant checks; the per-node state is
+    mutable, so the instrumentor must {e not} be built with
+    [~order_invariant:true] (the re-run would corrupt it). *)
 
 val matches_engine : result -> bool
 (** True iff the simulated clustering equals the engine's exactly
@@ -64,6 +68,7 @@ type reliable_result = {
 
 val carve_reliable :
   ?adversary:Congest.Fault.t ->
+  ?conformance:Congest.Conformance.instrumentor ->
   ?liveness_timeout:int ->
   ?preset:Weak_carving.preset ->
   ?domain:Dsgraph.Mask.t ->

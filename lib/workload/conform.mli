@@ -1,0 +1,81 @@
+(** Run the algorithm registry and the distributed node programs under the
+    {!Congest.Conformance} model-invariant verifier.
+
+    Two legs, mirroring how the repository executes algorithms:
+
+    - {b registry leg} — every Table 1 decomposer and Table 2 carver in
+      {!Algorithms}, run through {!Measure} with a trace sink twice:
+      replay determinism (a) plus the exact bandwidth cross-check (b)
+      between the event stream, {!Congest.Metrics.of_trace}, and the
+      {!Congest.Cost} meter totals the row reports;
+    - {b program leg} — the genuinely distributed executions
+      ({!Congest.Programs}, [Ls_distributed], [Weakdiam.Distributed],
+      [Mpx_distributed]), instrumented per round for edge discipline (c),
+      halt monotonicity (d), and — where registered order-invariant —
+      inbox-order robustness (e), both fault-free and under a seeded
+      {!Congest.Fault} adversary.
+
+    Registered order-invariant: leader election, the subtree-count
+    convergecast, and the Linial–Saks flood (all fold their inboxes with
+    commutative operations). BFS (first-arrival parent tie-break) and the
+    mutable-state Weakdiam/MPX programs are checked for (c)–(d) only. *)
+
+type row = {
+  target : string;  (** e.g. ["decomposer:thm2.3"], ["program:ls_attempt"] *)
+  family : string;
+  n : int;
+  adversarial : bool;
+  report : Congest.Conformance.report;
+  seconds : float;
+}
+
+val ok : row -> bool
+
+val decomposer_row :
+  ?seed:int -> Algorithms.decomposer -> Suite.family -> n:int -> row
+
+val carver_row :
+  ?seed:int ->
+  ?epsilon:float ->
+  Algorithms.carver ->
+  Suite.family ->
+  n:int ->
+  row
+
+val registry_rows :
+  ?seed:int -> ?epsilon:float -> Suite.family -> n:int -> row list
+(** One row per registered decomposer and carver (fault-free; the
+    registry entry points are adversary-free by construction). *)
+
+val program_rows :
+  ?seed:int ->
+  ?epsilon:float ->
+  adversarial:bool ->
+  Suite.family ->
+  n:int ->
+  row list
+(** The distributed node programs. With [adversarial:true] each program
+    runs under a seeded drop/duplicate/delay/crash adversary (recreated
+    from its {!Congest.Fault.spec} on every replay, so determinism still
+    holds), with the lossy direct programs swapped for their
+    {!Congest.Reliable} variants where one exists. *)
+
+val suite :
+  ?seed:int ->
+  ?epsilon:float ->
+  ?adversarial:bool ->
+  Suite.family ->
+  n:int ->
+  row list
+(** [registry_rows @ program_rows ~adversarial:false @ (program_rows
+    ~adversarial:true when adversarial)] — the full conformance sweep for
+    one family ([adversarial] defaults to [true]). *)
+
+val pp_row : Format.formatter -> row -> unit
+val pp_table : Format.formatter -> row list -> unit
+
+val csv : row list -> string
+(** One line per (row, check) plus one per violation. *)
+
+val to_json : row list -> string
+(** A JSON array of reports, companion to [lint_results.json]. *)

@@ -1,7 +1,6 @@
 open Dsgraph
 module Mis = Apps.Mis
 module Coloring = Apps.Coloring
-module Decomposition = Cluster.Decomposition
 
 let check = Alcotest.check
 let int = Alcotest.int

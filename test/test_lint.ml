@@ -1,0 +1,130 @@
+(* Tests for the source-level conformance lint (tools/lint): the committed
+   bad fixture must trip every rule, the good fixture none, the allow /
+   disable configuration must suppress findings, unparseable input must
+   degrade to a parse-error finding, and the shipped tree itself must lint
+   clean under the default configuration. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let rules_of findings =
+  List.sort_uniq compare (List.map (fun f -> f.Lint_core.rule) findings)
+
+let count rule findings =
+  List.length (List.filter (fun f -> f.Lint_core.rule = rule) findings)
+
+(* The binary lives in _build/default/test, where dune copies the sources
+   (and, via the stanza deps, the fixtures). Resolve everything relative
+   to the executable, so both `dune runtest` (cwd = test dir) and
+   `dune exec` (cwd = invocation dir) find them. *)
+let test_dir = Filename.dirname Sys.executable_name
+let fixture name = Filename.concat (Filename.concat test_dir "fixtures") name
+
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then failwith "dune-project not found above test dir"
+      else up parent
+  in
+  up test_dir
+
+let test_bad_fixture () =
+  let findings = Lint_core.lint_file (fixture "bad_congest.ml") in
+  check
+    Alcotest.(list string)
+    "every rule trips"
+    [ "catchall"; "obj"; "physeq"; "print-in-program"; "random" ]
+    (rules_of findings);
+  (* Random.bits + [module R = Random] *)
+  check int "both Random uses found" 2 (count "random" findings);
+  (* print_endline + Printf.printf, both inside the program record *)
+  check int "both prints found" 2 (count "print-in-program" findings);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        "finding carries a location" true
+        (f.Lint_core.line > 0 && f.Lint_core.file <> ""))
+    findings
+
+let test_good_fixture () =
+  check int "good fixture lints clean" 0
+    (List.length (Lint_core.lint_file (fixture "good_congest.ml")))
+
+let test_allow_and_disable () =
+  let allow_random =
+    {
+      Lint_core.disabled = [];
+      allow = [ ("random", "fixtures") ];
+    }
+  in
+  let findings =
+    Lint_core.lint_file ~config:allow_random (fixture "bad_congest.ml")
+  in
+  check int "allow-listed rule suppressed" 0 (count "random" findings);
+  check int "other rules still fire" 2 (count "print-in-program" findings);
+  let disable_physeq =
+    { Lint_core.disabled = [ "physeq" ]; allow = [] }
+  in
+  let findings =
+    Lint_core.lint_file ~config:disable_physeq (fixture "bad_congest.ml")
+  in
+  check int "disabled rule silent" 0 (count "physeq" findings);
+  check int "disable is per-rule" 2 (count "random" findings)
+
+let test_parse_error () =
+  let path = Filename.temp_file "lint_garbage" ".ml" in
+  let oc = open_out path in
+  output_string oc "let let let = in in in";
+  close_out oc;
+  let findings = Lint_core.lint_file path in
+  Sys.remove path;
+  check Alcotest.(list string) "degrades to parse-error" [ "parse-error" ]
+    (rules_of findings)
+
+let test_tree_lints_clean () =
+  let root = repo_root () in
+  let roots =
+    List.map (Filename.concat root) [ "lib"; "bin"; "bench" ]
+  in
+  let files = Lint_core.ml_files roots in
+  Alcotest.(check bool) "found the tree" true (List.length files > 30);
+  let findings = List.concat_map (fun f -> Lint_core.lint_file f) files in
+  List.iter
+    (fun f -> Format.eprintf "%a@." Lint_core.pp_finding f)
+    findings;
+  check int "shipped tree lints clean" 0 (List.length findings)
+
+let test_json_shape () =
+  let findings = Lint_core.lint_file (fixture "bad_congest.ml") in
+  let json = Lint_core.to_json ~files_scanned:1 findings in
+  Alcotest.(check bool)
+    "mentions every rule name" true
+    (List.for_all
+       (fun (name, _) ->
+         let needle = "\"" ^ name ^ "\"" in
+         let n = String.length needle and m = String.length json in
+         let rec go i =
+           i + n <= m && (String.sub json i n = needle || go (i + 1))
+         in
+         go 0)
+       Lint_core.rules)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "bad fixture trips every rule" `Quick
+            test_bad_fixture;
+          Alcotest.test_case "good fixture is clean" `Quick test_good_fixture;
+          Alcotest.test_case "allow and disable lists" `Quick
+            test_allow_and_disable;
+          Alcotest.test_case "parse error degrades to finding" `Quick
+            test_parse_error;
+          Alcotest.test_case "shipped tree lints clean" `Quick
+            test_tree_lints_clean;
+          Alcotest.test_case "json payload shape" `Quick test_json_shape;
+        ] );
+    ]

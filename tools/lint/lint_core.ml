@@ -1,0 +1,222 @@
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  detail : string;
+}
+
+type config = {
+  disabled : string list;
+  allow : (string * string) list;
+}
+
+let rules =
+  [
+    ("random", "Stdlib.Random outside Dsgraph.Rng breaks seeded replay");
+    ("obj", "Obj.* defeats the type system");
+    ("catchall", "unguarded 'try ... with _ ->' swallows model violations");
+    ( "print-in-program",
+      "printing inside a Sim.program: nodes talk through outboxes only" );
+    ("physeq", "physical equality (==/!=) is representation-dependent");
+    ("parse-error", "file does not parse");
+  ]
+
+let default_config =
+  { disabled = []; allow = [ ("random", "dsgraph/rng") ] }
+
+(* substring check, for allow-list path matching *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let print_names =
+  [
+    "print_string";
+    "print_bytes";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_endline";
+    "print_newline";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+  ]
+
+let lint_structure ~config ~file structure =
+  let findings = ref [] in
+  let add loc rule detail =
+    let allowed =
+      List.mem rule config.disabled
+      || List.exists
+           (fun (r, sub) -> r = rule && contains ~sub file)
+           config.allow
+    in
+    if not allowed then begin
+      let p = loc.Location.loc_start in
+      findings :=
+        {
+          file;
+          line = p.Lexing.pos_lnum;
+          col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+          rule;
+          detail;
+        }
+        :: !findings
+    end
+  in
+  let check_path loc path =
+    (match path with
+    | "Random" :: _ | "Stdlib" :: "Random" :: _ ->
+        add loc "random"
+          (String.concat "." path ^ ": draw from Dsgraph.Rng instead")
+    | "Obj" :: _ | "Stdlib" :: "Obj" :: _ ->
+        add loc "obj" (String.concat "." path)
+    | _ -> ());
+    match List.rev path with
+    | ("==" | "!=") :: _ ->
+        add loc "physeq"
+          (List.hd (List.rev path) ^ ": use structural (=/<>) equality")
+    | _ -> ()
+  in
+  (* depth of enclosing { init; round; ... } program literals *)
+  let in_program = ref 0 in
+  let check_print loc path =
+    if !in_program > 0 then
+      match path with
+      | [ name ] when List.mem name print_names ->
+          add loc "print-in-program" name
+      | ("Printf" | "Format") :: _ ->
+          add loc "print-in-program" (String.concat "." path)
+      | _ -> ()
+  in
+  let is_program_record fields =
+    let last lid =
+      match List.rev (Longident.flatten lid.Location.txt) with
+      | x :: _ -> x
+      | [] -> ""
+    in
+    let labels = List.map (fun (lid, _) -> last lid) fields in
+    List.mem "init" labels && List.mem "round" labels
+  in
+  let open Parsetree in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident lid ->
+        let path = Longident.flatten lid.Location.txt in
+        check_path e.pexp_loc path;
+        check_print e.pexp_loc path
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            match (c.pc_lhs.ppat_desc, c.pc_guard) with
+            | Ppat_any, None ->
+                add c.pc_lhs.ppat_loc "catchall"
+                  "match the exceptions you expect, or add a 'when' guard"
+            | _ -> ())
+          cases
+    | _ -> ());
+    match e.pexp_desc with
+    | Pexp_record (fields, _) when is_program_record fields ->
+        incr in_program;
+        super.expr it e;
+        decr in_program
+    | _ -> super.expr it e
+  in
+  let module_expr it m =
+    (match m.pmod_desc with
+    | Pmod_ident lid -> check_path m.pmod_loc (Longident.flatten lid.Location.txt)
+    | _ -> ());
+    super.module_expr it m
+  in
+  let iterator = { super with expr; module_expr } in
+  iterator.structure iterator structure;
+  List.rev !findings
+
+let lint_file ?(config = default_config) file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf file;
+      match Parse.implementation lexbuf with
+      | structure -> lint_structure ~config ~file structure
+      | exception exn ->
+          let line, col =
+            match Location.error_of_exn exn with
+            | Some (`Ok err) ->
+                let p = err.Location.main.Location.loc.Location.loc_start in
+                (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+            | _ -> (1, 0)
+          in
+          [
+            {
+              file;
+              line;
+              col;
+              rule = "parse-error";
+              detail = Printexc.to_string exn;
+            };
+          ])
+
+let ml_files roots =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if
+            entry <> "_build"
+            && entry <> ".git"
+            && not (String.length entry > 0 && entry.[0] = '.')
+          then walk (Filename.concat path entry))
+        (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" then acc := path :: !acc
+  in
+  List.iter (fun r -> if Sys.file_exists r then walk r) roots;
+  List.sort compare !acc
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.detail
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ~files_scanned findings =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"rules\":[";
+  List.iteri
+    (fun i (name, doc) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"doc\":\"%s\"}" (json_escape name)
+           (json_escape doc)))
+    rules;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"files_scanned\":%d,\"findings\":[" files_scanned);
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"detail\":\"%s\"}"
+           (json_escape f.file) f.line f.col (json_escape f.rule)
+           (json_escape f.detail)))
+    findings;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

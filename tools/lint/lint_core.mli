@@ -1,0 +1,57 @@
+(** Source-level CONGEST conformance lint.
+
+    Parses every [.ml] file with the compiler's own front end
+    ({!Parse.implementation}) and walks the AST with an {!Ast_iterator},
+    so the checks see code the way the compiler does — through comments,
+    strings, and line noise that defeat grep. The rules encode the
+    repository's model discipline (DESIGN.md §9):
+
+    - [random] — [Stdlib.Random] anywhere outside [Dsgraph.Rng]: every
+      random bit must flow from an explicit seed, or replay determinism
+      (and with it the whole measurement methodology) dies;
+    - [obj] — any use of [Obj.*];
+    - [catchall] — [try … with _ ->] without a [when] guard: swallows
+      [Bandwidth_exceeded] and friends that the simulator uses to reject
+      non-conforming programs;
+    - [print-in-program] — [print_*] / [Printf] / [Format] printing
+      inside a [Sim.program] record ([{ init; round; … }]): node
+      programs may only communicate through their outboxes;
+    - [physeq] — physical equality [==] / [!=], which on immutable
+      values is a latent nondeterminism.
+
+    Findings are reported with the compiler's notion of location. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  detail : string;
+}
+
+type config = {
+  disabled : string list;  (** rule names switched off entirely *)
+  allow : (string * string) list;
+      (** [(rule, path-substring)] exemptions: a finding of [rule] in a
+          file whose path contains the substring is suppressed *)
+}
+
+val rules : (string * string) list
+(** [(name, description)] of every rule, for [--help] and the report. *)
+
+val default_config : config
+(** No rules disabled; [Stdlib.Random] allowed in [dsgraph/rng] (the one
+    sanctioned wrapper). *)
+
+val lint_file : ?config:config -> string -> finding list
+(** Parse and check one [.ml] file. A file that does not parse yields a
+    single [parse-error] finding rather than an exception. *)
+
+val ml_files : string list -> string list
+(** Recursively collect [.ml] files under the given roots (skipping
+    [_build], [.git], and hidden directories), sorted. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val to_json : files_scanned:int -> finding list -> string
+(** The [lint_results.json] payload: rule list, file count, findings. *)
