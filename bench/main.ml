@@ -28,6 +28,7 @@ let mode =
   | _ :: "faults" :: _ -> `Faults
   | _ :: "trace" :: _ -> `Trace
   | _ :: "conform" :: _ -> `Conform
+  | _ :: "causal" :: _ -> `Causal
   | _ :: "record" :: _ -> `Record
   | _ -> `Standard
 
@@ -924,6 +925,99 @@ let run_conform_only () =
   Format.fprintf fmt "@.total benchmark time: %.1f s@."
     (Unix.gettimeofday () -. t0)
 
+(* A.CAUSAL: replay cost of the happens-before analyzer, relative to the
+   traced run that produced the event stream. Analysis is a pure
+   consumer (two Trace.iter passes plus the span replay), so the budget
+   is a fraction of the run itself: analyze <= 10% of run. *)
+let causal_experiment () =
+  section
+    "A.CAUSAL -- replay cost of the causal critical-path analyzer over \
+     the traced run";
+  Format.fprintf fmt
+    "'run' executes the workload with a sink attached; 'analyze' replays \
+     the recorded@.stream (Causal.analyze + span_breakdown) without \
+     re-running anything. Budget:@.overhead%% = analyze / run <= 10.@.@.";
+  let reps = match mode with `Quick -> 3 | _ -> 9 in
+  let grid = Gen.grid 8 8 in
+  let grid256 = Gen.grid 16 16 in
+  let workloads =
+    [
+      ( "weak_carve_sim/grid64",
+        2,
+        fun sink ->
+          ignore (Weakdiam.Distributed.carve ~trace:sink grid ~epsilon:0.5) );
+      ( "thm2.3/grid256",
+        2,
+        fun sink ->
+          let cost = Congest.Cost.create ~trace:sink () in
+          ignore (Strongdecomp.Netdecomp.strong ~cost grid256) );
+    ]
+  in
+  Format.fprintf fmt "%-24s %5s %10s %10s %10s %16s@." "workload" "reps"
+    "run(s)" "analyze(s)" "overhead%" "critical/rounds";
+  let rows =
+    List.map
+      (fun (name, iters, exec) ->
+        let sink = Congest.Trace.sink () in
+        let run_batch () =
+          for _ = 1 to iters do
+            Congest.Trace.clear sink;
+            exec sink
+          done
+        in
+        let analyze_batch () =
+          for _ = 1 to iters do
+            let t = Congest.Causal.analyze sink in
+            ignore (Congest.Causal.span_breakdown sink t)
+          done
+        in
+        (* warm-up also leaves the sink holding one full run's stream
+           for the analyze batches to replay *)
+        run_batch ();
+        analyze_batch ();
+        let run_s = median_seconds ~reps run_batch in
+        let analyze_s = median_seconds ~reps analyze_batch in
+        let overhead = 100.0 *. analyze_s /. Float.max run_s 1e-9 in
+        let t = Congest.Causal.analyze sink in
+        Format.fprintf fmt "%-24s %5d %10.4f %10.4f %10.2f %16s@." name reps
+          run_s analyze_s overhead
+          (Printf.sprintf "%d/%d%s" t.Congest.Causal.critical_rounds
+             t.Congest.Causal.rounds
+             (if t.Congest.Causal.exact then "" else " ~"));
+        ( name,
+          reps,
+          run_s,
+          analyze_s,
+          overhead,
+          t.Congest.Causal.critical_rounds,
+          t.Congest.Causal.rounds ))
+      workloads
+  in
+  Format.pp_print_flush fmt ();
+  rows
+
+let run_causal_only () =
+  let t0 = Unix.gettimeofday () in
+  let rows = causal_experiment () in
+  (try
+     let dir = "bench_results" in
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+     let oc = open_out (Filename.concat dir "causal_overhead.csv") in
+     output_string oc
+       "workload,reps,run_seconds,analyze_seconds,overhead_pct,critical_rounds,rounds\n";
+     List.iter
+       (fun (name, reps, run_s, analyze_s, overhead, critical, rounds) ->
+         output_string oc
+           (Printf.sprintf "%s,%d,%.6f,%.6f,%.3f,%d,%d\n" name reps run_s
+              analyze_s overhead critical rounds))
+       rows;
+     close_out oc;
+     Format.fprintf fmt
+       "@.CSV dump written to bench_results/causal_overhead.csv@."
+   with Sys_error e -> Format.fprintf fmt "@.(skipping CSV dump: %s)@." e);
+  Format.fprintf fmt "@.total benchmark time: %.1f s@."
+    (Unix.gettimeofday () -. t0)
+
 (* ------------------------------------------------------------------ *)
 (* B.RECORD: persistent headline-metrics time series                     *)
 (* ------------------------------------------------------------------ *)
@@ -1137,8 +1231,9 @@ let () =
      PODC 2021@.mode: %s (pass 'full' for the n=16384 sweep, 'quick' for a \
      smoke test,@.'faults' for the graceful-degradation sweep only, 'trace' \
      for the observability@.overhead experiments only, 'conform' for the \
-     verifier-overhead experiment@.only, 'record' to append a headline \
-     snapshot to the@.persistent BENCH_trajectory.json)@."
+     verifier-overhead experiment@.only, 'causal' for the critical-path \
+     analyzer replay cost, 'record' to append@.a headline snapshot to the \
+     persistent BENCH_trajectory.json)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
@@ -1146,10 +1241,12 @@ let () =
     | `Faults -> "faults"
     | `Trace -> "trace"
     | `Conform -> "conform"
+    | `Causal -> "causal"
     | `Record -> "record");
   if mode = `Faults then run_faults_only ()
   else if mode = `Trace then run_trace_only ()
   else if mode = `Conform then run_conform_only ()
+  else if mode = `Causal then run_causal_only ()
   else if mode = `Record then run_record_only ()
   else begin
   let t0 = Unix.gettimeofday () in

@@ -532,6 +532,57 @@ let conform_cmd =
       const run $ target_arg $ family_arg $ n_arg $ seed_arg $ epsilon_arg
       $ no_adversarial_arg $ json_arg $ out_arg)
 
+let report_cmd =
+  let algo_pos =
+    Arg.(
+      value & pos 0 string "thm2.3"
+      & info [] ~docv:"ALGO"
+          ~doc:
+            "Algorithm to report on (a decomposer name; carver names work \
+             too).")
+  in
+  let family_pos =
+    Arg.(value & pos 1 string "grid" & info [] ~docv:"FAMILY" ~doc:"Workload family.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt string "bench_results"
+      & info [ "out-dir"; "o" ] ~docv:"DIR"
+          ~doc:"Directory for the markdown and JSON reports.")
+  in
+  let run algo family n seed epsilon out_dir =
+    let family = lookup_family family in
+    let report =
+      match Algorithms.find_decomposer algo with
+      | d -> Workload.Report.of_decomposer ~seed d family ~n
+      | exception Not_found -> (
+          match Algorithms.find_carver algo with
+          | c -> Workload.Report.of_carver ~seed ~epsilon c family ~n
+          | exception Not_found ->
+              Format.eprintf "unknown algorithm %s@." algo;
+              exit 2)
+    in
+    Workload.Report.pp_summary Format.std_formatter report;
+    Format.printf "%a@." Congest.Causal.pp report.Workload.Report.causal;
+    let files = Workload.Report.save ~dir:out_dir report in
+    List.iter (Format.printf "wrote %s@.") files;
+    (match report.Workload.Report.audit_verdict with
+    | Ok () -> ()
+    | Error e ->
+        Format.eprintf "certificate audit rejected: %s@." e;
+        exit 1);
+    if not report.Workload.Report.valid then exit 1
+  in
+  let doc =
+    "run one algorithm and write a unified report (markdown + JSON): \
+     measured row, metrics, phase rollups, causal critical path and slack, \
+     and an independently verified per-cluster certificate audit"
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ algo_pos $ family_pos $ n_arg $ seed_arg $ epsilon_arg
+      $ out_dir_arg)
+
 let list_cmd =
   let run () =
     Format.printf "families:@.";
@@ -566,6 +617,7 @@ let () =
             faults_cmd;
             trace_cmd;
             profile_cmd;
+            report_cmd;
             conform_cmd;
             list_cmd;
           ]))

@@ -149,6 +149,76 @@ let estimate_max f t =
 let max_strong_diameter_estimate t = estimate_max strong_diameter_estimate t
 let max_weak_diameter_estimate t = estimate_max weak_diameter_estimate t
 
+(* BFS witness tree from the first member; [prune] keeps only the union
+   of root-to-member paths (identity for the strong variant, where the
+   mask already confines the search to the members) *)
+let witness_tree_gen ?mask ~prune t c =
+  match t.member_lists.(c) with
+  | [] -> None
+  | root :: _ as members ->
+      let parent = Bfs.parents ?mask t.graph ~source:root in
+      let dist = Bfs.distances ?mask t.graph ~source:root in
+      if List.exists (fun v -> dist.(v) < 0) members then None
+      else
+        let height = List.fold_left (fun h v -> max h dist.(v)) 0 members in
+        let pairs =
+          if not prune then
+            List.filter_map
+              (fun v -> if v = root then None else Some (v, parent.(v)))
+              members
+          else begin
+            let keep = Hashtbl.create 64 in
+            let rec mark v =
+              if not (Hashtbl.mem keep v) then begin
+                Hashtbl.add keep v ();
+                if v <> root then mark parent.(v)
+              end
+            in
+            List.iter mark members;
+            List.sort compare
+              (Hashtbl.fold
+                 (fun v () acc ->
+                   if v = root then acc else (v, parent.(v)) :: acc)
+                 keep [])
+          end
+        in
+        Some (root, pairs, height)
+
+let witness_tree t c =
+  let mask = Mask.of_list (Graph.n t.graph) t.member_lists.(c) in
+  witness_tree_gen ~mask ~prune:false t c
+
+let weak_witness_tree ?within t c =
+  witness_tree_gen ?mask:within ~prune:true t c
+
+let eccentric_pair_gen ?mask t c =
+  match t.member_lists.(c) with
+  | [] -> (-1, -1, -1)
+  | [ v ] -> (v, v, 0)
+  | first :: _ as members ->
+      let sweep source =
+        let dist = Bfs.distances ?mask t.graph ~source in
+        if List.exists (fun v -> dist.(v) < 0) members then None
+        else
+          Some
+            (List.fold_left
+               (fun (bv, bd) v ->
+                 if dist.(v) > bd then (v, dist.(v)) else (bv, bd))
+               (source, 0) members)
+      in
+      (match sweep first with
+      | None -> (-1, -1, -1)
+      | Some (u, _) -> (
+          match sweep u with
+          | None -> (-1, -1, -1)
+          | Some (v, d) -> (u, v, d)))
+
+let eccentric_pair t c =
+  let mask = Mask.of_list (Graph.n t.graph) t.member_lists.(c) in
+  eccentric_pair_gen ~mask t c
+
+let weak_eccentric_pair ?within t c = eccentric_pair_gen ?mask:within t c
+
 let pp fmt t =
   Format.fprintf fmt "clustering(%d clusters, %d/%d nodes)" t.num_clusters
     (clustered_count t) (Graph.n t.graph)

@@ -69,4 +69,32 @@ val weak_diameter_estimate : t -> int -> int
 
 val max_weak_diameter_estimate : t -> int
 
+val witness_tree : t -> int -> (int * (int * int) list * int) option
+(** [(root, parents, height)] of a BFS tree {e inside} the cluster's
+    induced subgraph: [parents] is one [(node, parent)] pair per
+    non-root member (sorted by node), every pair a real graph edge with
+    both endpoints in the cluster, and [height] the largest BFS depth
+    over the members. Such a tree certifies that the induced subgraph
+    is connected with strong diameter at most [2 * height]. [None] when
+    the induced subgraph is disconnected (then only a weak witness
+    exists — see {!weak_witness_tree}). *)
+
+val weak_witness_tree : ?within:Dsgraph.Mask.t -> t -> int -> (int * (int * int) list * int) option
+(** As {!witness_tree} but the BFS runs in the (masked) host graph, so
+    the tree may route through non-members (Steiner nodes); it is
+    pruned to the union of the root-to-member paths. Certifies weak
+    diameter at most [2 * height]. [None] when some member is
+    unreachable even in the host graph. *)
+
+val eccentric_pair : t -> int -> int * int * int
+(** [(u, v, d)] — a double-sweep witness pair inside the cluster's
+    induced subgraph: members at distance exactly [d], so [d] is a
+    certified lower bound on the strong diameter (within a factor 2 of
+    it, exact on trees). [(-1, -1, -1)] when the induced subgraph is
+    disconnected. *)
+
+val weak_eccentric_pair : ?within:Dsgraph.Mask.t -> t -> int -> int * int * int
+(** As {!eccentric_pair}, measured in the (masked) host graph: a lower
+    bound on the weak diameter. *)
+
 val pp : Format.formatter -> t -> unit

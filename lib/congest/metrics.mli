@@ -71,8 +71,10 @@ val of_spans : ?into:t -> Trace.sink -> t
 
 val to_csv : t -> string
 (** Long format, one statistic per row: [metric,stat,value]. Histograms
-    emit [count]/[sum]/[min]/[max]/[mean] plus one [le_<2^k>] row per
-    non-empty bucket. *)
+    emit [count]/[sum]/[min]/[max]/[mean] plus one [lt_<2^k>] row per
+    non-empty bucket (the bucket with upper bound [2^k] counts the
+    observations with [2^(k-1) <= v < 2^k]; values [<= 0] land in
+    [lt_1]). *)
 
 val to_jsonl : t -> string
 (** One JSON object per metric, e.g.

@@ -1,0 +1,331 @@
+open Dsgraph
+
+type witness = {
+  w_root : int;
+  w_parents : (int * int) list;
+  w_height : int;
+}
+
+type cert = {
+  cluster : int;
+  color : int;
+  members : int list;
+  strong : bool;
+  tree : witness option;
+  diameter_lb : int;
+  lb_pair : int * int;
+  diameter_ub : int option;
+}
+
+type kind = Decomposition | Carving
+
+type t = {
+  kind : kind;
+  n : int;
+  certs : cert list;
+  num_colors : int;
+  domain : int list;
+  dead : int;
+  dead_fraction : float;
+}
+
+let cert_of_cluster clustering ~color c =
+  let members = Cluster.Clustering.members clustering c in
+  let of_tree (root, pairs, height) =
+    { w_root = root; w_parents = pairs; w_height = height }
+  in
+  match Cluster.Clustering.witness_tree clustering c with
+  | Some w ->
+      let u, v, d = Cluster.Clustering.eccentric_pair clustering c in
+      let w = of_tree w in
+      {
+        cluster = c;
+        color;
+        members;
+        strong = true;
+        tree = Some w;
+        diameter_lb = d;
+        lb_pair = (u, v);
+        diameter_ub = Some (2 * w.w_height);
+      }
+  | None ->
+      (* induced subgraph disconnected: fall back to host-graph witnesses *)
+      let tree =
+        Option.map of_tree (Cluster.Clustering.weak_witness_tree clustering c)
+      in
+      let u, v, d = Cluster.Clustering.weak_eccentric_pair clustering c in
+      {
+        cluster = c;
+        color;
+        members;
+        strong = false;
+        tree;
+        diameter_lb = d;
+        lb_pair = (u, v);
+        diameter_ub = Option.map (fun w -> 2 * w.w_height) tree;
+      }
+
+let certs_of_clustering clustering ~color_of =
+  List.init (Cluster.Clustering.num_clusters clustering) (fun c ->
+      cert_of_cluster clustering ~color:(color_of c) c)
+
+let certify_decomposition d =
+  let clustering = Cluster.Decomposition.clustering d in
+  let g = Cluster.Clustering.graph clustering in
+  let n = Graph.n g in
+  let dead = n - Cluster.Clustering.clustered_count clustering in
+  {
+    kind = Decomposition;
+    n;
+    certs =
+      certs_of_clustering clustering
+        ~color_of:(Cluster.Decomposition.color_of_cluster d);
+    num_colors = Cluster.Decomposition.num_colors d;
+    domain = List.init n Fun.id;
+    dead;
+    dead_fraction =
+      (if n = 0 then 0.0 else float_of_int dead /. float_of_int n);
+  }
+
+let certify_carving (cv : Cluster.Carving.t) =
+  let clustering = cv.Cluster.Carving.clustering in
+  let g = Cluster.Clustering.graph clustering in
+  let dead = List.length (Cluster.Carving.dead cv) in
+  {
+    kind = Carving;
+    n = Graph.n g;
+    certs = certs_of_clustering clustering ~color_of:(fun _ -> -1);
+    num_colors = 0;
+    domain = Mask.to_list cv.Cluster.Carving.domain;
+    dead;
+    dead_fraction = Cluster.Carving.dead_fraction cv;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Independent re-verification against the raw graph                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Reject of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+(* depth of every tree node from the parent pointers alone, rejecting
+   duplicate nodes, dangling parents, and cycles *)
+let tree_depths ~cluster w =
+  let parent = Hashtbl.create 64 in
+  List.iter
+    (fun (v, p) ->
+      if v = w.w_root then
+        fail "cluster %d: witness root %d also has a parent" cluster v;
+      if Hashtbl.mem parent v then
+        fail "cluster %d: node %d appears twice in the witness tree" cluster v;
+      Hashtbl.add parent v p)
+    w.w_parents;
+  let depth = Hashtbl.create 64 in
+  Hashtbl.add depth w.w_root 0;
+  let bound = List.length w.w_parents + 1 in
+  let rec depth_of steps v =
+    if steps > bound then
+      fail "cluster %d: witness tree has a parent cycle at node %d" cluster v;
+    match Hashtbl.find_opt depth v with
+    | Some d -> d
+    | None ->
+        (match Hashtbl.find_opt parent v with
+        | None ->
+            fail "cluster %d: node %d hangs off the witness tree (parent %s)"
+              cluster v "missing"
+        | Some p ->
+            let d = 1 + depth_of (steps + 1) p in
+            Hashtbl.add depth v d);
+        Hashtbl.find depth v
+  in
+  List.iter (fun (v, _) -> ignore (depth_of 0 v)) w.w_parents;
+  depth
+
+let verify g t =
+  let n = Graph.n g in
+  try
+    if t.n <> n then
+      fail "certificate claims n=%d but the graph has %d nodes" t.n n;
+    (* domain: sorted, in range, duplicate-free *)
+    let in_domain = Array.make n false in
+    let rec check_domain = function
+      | [] -> ()
+      | v :: rest ->
+          if v < 0 || v >= n then fail "domain node %d out of range" v;
+          if in_domain.(v) then fail "domain node %d listed twice" v;
+          in_domain.(v) <- true;
+          check_domain rest
+    in
+    check_domain t.domain;
+    (* membership: disjoint clusters confined to the domain *)
+    let owner = Array.make n (-1) in
+    let node_color = Array.make n (-1) in
+    let clustered = ref 0 in
+    List.iter
+      (fun cert ->
+        if cert.members = [] then fail "cluster %d is empty" cert.cluster;
+        (match t.kind with
+        | Decomposition ->
+            if cert.color < 0 || cert.color >= t.num_colors then
+              fail "cluster %d: color %d outside [0, %d)" cert.cluster
+                cert.color t.num_colors
+        | Carving ->
+            if cert.color <> -1 then
+              fail "cluster %d: carved clusters carry no colors (got %d)"
+                cert.cluster cert.color);
+        List.iter
+          (fun v ->
+            if v < 0 || v >= n then
+              fail "cluster %d: member %d out of range" cert.cluster v;
+            if not in_domain.(v) then
+              fail "cluster %d: member %d outside the domain" cert.cluster v;
+            if owner.(v) >= 0 then
+              fail "node %d claimed by clusters %d and %d" v owner.(v)
+                cert.cluster;
+            owner.(v) <- cert.cluster;
+            node_color.(v) <- cert.color;
+            incr clustered)
+          cert.members)
+      t.certs;
+    (* dead accounting, recounted from the lists just validated *)
+    let dead = List.length t.domain - !clustered in
+    if dead <> t.dead then
+      fail "dead count: certificate claims %d, recount gives %d" t.dead dead;
+    (match t.kind with
+    | Decomposition ->
+        if dead > 0 then fail "decomposition leaves %d nodes unclustered" dead
+    | Carving -> ());
+    let denom = List.length t.domain in
+    let expected_fraction =
+      if denom = 0 then 0.0 else float_of_int dead /. float_of_int denom
+    in
+    if Float.abs (expected_fraction -. t.dead_fraction) > 1e-9 then
+      fail "dead fraction: certificate claims %.6f, recount gives %.6f"
+        t.dead_fraction expected_fraction;
+    (* color-class disjointness by one scan of the raw edge set; for
+       carvings every color is -1, so this is full non-adjacency *)
+    Graph.iter_edges g (fun u v ->
+        if
+          owner.(u) >= 0 && owner.(v) >= 0
+          && owner.(u) <> owner.(v)
+          && node_color.(u) = node_color.(v)
+        then
+          fail "edge (%d,%d) joins clusters %d and %d of the same color %d" u
+            v owner.(u) owner.(v) node_color.(u));
+    (* witness trees and eccentric pairs, cluster by cluster *)
+    List.iter
+      (fun cert ->
+        let member = Hashtbl.create 64 in
+        List.iter (fun v -> Hashtbl.replace member v ()) cert.members;
+        (match cert.tree with
+        | None ->
+            if cert.diameter_ub <> None then
+              fail "cluster %d: diameter upper bound without a witness tree"
+                cert.cluster
+        | Some w ->
+            if not (Hashtbl.mem member w.w_root) then
+              fail "cluster %d: witness root %d is not a member" cert.cluster
+                w.w_root;
+            List.iter
+              (fun (v, p) ->
+                if v < 0 || v >= n || p < 0 || p >= n then
+                  fail "cluster %d: witness pair (%d,%d) out of range"
+                    cert.cluster v p;
+                if not (Graph.is_edge g v p) then
+                  fail "cluster %d: witness pair (%d,%d) is not a graph edge"
+                    cert.cluster v p;
+                if cert.strong && not (Hashtbl.mem member v && Hashtbl.mem member p)
+                then
+                  fail
+                    "cluster %d: strong witness pair (%d,%d) leaves the \
+                     cluster"
+                    cert.cluster v p)
+              w.w_parents;
+            let depth = tree_depths ~cluster:cert.cluster w in
+            List.iter
+              (fun v ->
+                if not (Hashtbl.mem depth v) then
+                  fail "cluster %d: member %d missing from the witness tree"
+                    cert.cluster v)
+              cert.members;
+            if cert.strong && Hashtbl.length depth <> List.length cert.members
+            then
+              fail "cluster %d: strong witness tree has non-member nodes"
+                cert.cluster;
+            let height =
+              List.fold_left
+                (fun h v -> max h (Hashtbl.find depth v))
+                0 cert.members
+            in
+            if height <> w.w_height then
+              fail "cluster %d: witness height claims %d, recomputed %d"
+                cert.cluster w.w_height height;
+            if cert.diameter_ub <> Some (2 * w.w_height) then
+              fail "cluster %d: diameter upper bound is not 2 x height"
+                cert.cluster);
+        (if cert.diameter_lb >= 0 then begin
+           let u, v = cert.lb_pair in
+           if not (Hashtbl.mem member u && Hashtbl.mem member v) then
+             fail "cluster %d: eccentric pair (%d,%d) not members"
+               cert.cluster u v;
+           let dist =
+             if cert.strong then
+               Bfs.distances
+                 ~mask:(Mask.of_list n cert.members)
+                 g ~source:u
+             else Bfs.distances g ~source:u
+           in
+           if dist.(v) <> cert.diameter_lb then
+             fail
+               "cluster %d: eccentric pair (%d,%d) is at distance %d, not \
+                the claimed %d"
+               cert.cluster u v dist.(v) cert.diameter_lb
+         end);
+        match (cert.diameter_lb, cert.diameter_ub) with
+        | lb, Some ub when lb > ub ->
+            fail "cluster %d: lower bound %d exceeds upper bound %d"
+              cert.cluster lb ub
+        | _ -> ())
+      t.certs;
+    Ok ()
+  with Reject msg -> Error msg
+
+let max_diameter_lb t =
+  List.fold_left
+    (fun acc cert ->
+      if acc < 0 || cert.diameter_lb < 0 then -1 else max acc cert.diameter_lb)
+    0 t.certs
+
+let max_diameter_ub t =
+  List.fold_left
+    (fun acc cert ->
+      match (acc, cert.diameter_ub) with
+      | Some a, Some u -> Some (max a u)
+      | _ -> None)
+    (Some 0) t.certs
+
+let pp_table ?(max_rows = 40) ppf t =
+  Format.fprintf ppf "%8s %6s %6s %-7s %7s %7s %7s@." "cluster" "size"
+    "color" "witness" "height" "diamLB" "diamUB";
+  let shown = ref 0 in
+  List.iter
+    (fun cert ->
+      if !shown < max_rows then begin
+        incr shown;
+        Format.fprintf ppf "%8d %6d %6s %-7s %7s %7s %7s@." cert.cluster
+          (List.length cert.members)
+          (if cert.color < 0 then "-" else string_of_int cert.color)
+          (if cert.strong then "strong" else "weak")
+          (match cert.tree with
+          | Some w -> string_of_int w.w_height
+          | None -> "-")
+          (if cert.diameter_lb < 0 then "-"
+           else string_of_int cert.diameter_lb)
+          (match cert.diameter_ub with
+          | Some u -> string_of_int u
+          | None -> "-")
+      end)
+    t.certs;
+  let rest = List.length t.certs - !shown in
+  if rest > 0 then Format.fprintf ppf "%8s ... and %d more clusters@." "" rest

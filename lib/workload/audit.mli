@@ -1,0 +1,90 @@
+(** Per-cluster quality certificates.
+
+    A decomposition or carving row reports aggregate numbers (colors,
+    max diameter, dead fraction); an {e audit} turns each claim into an
+    explicit, independently checkable witness per cluster:
+
+    - a BFS {b witness tree} — inside the cluster's induced subgraph
+      when it is connected (certifying the {e strong} diameter is at
+      most [2 * height]), otherwise in the host graph pruned to the
+      root-to-member paths (certifying the {e weak} diameter);
+    - a double-sweep {b eccentric pair} of members at a witnessed
+      distance, lower-bounding the same diameter;
+    - the cluster's {b color} (decompositions), so same-color
+      adjacency can be refuted by one edge scan;
+    - {b dead-node accounting} (carvings): the claimed dead count
+      against the domain and the member lists.
+
+    {!verify} re-checks a certificate against the raw graph using only
+    graph primitives ([is_edge], [iter_edges], reference BFS) — it
+    never consults the clustering structures that produced the
+    certificate, so a bug in a decomposition algorithm (or a tampered
+    certificate) cannot vouch for itself. The test suite seeds
+    corruptions (wrong diameter witness, overlapping colors,
+    miscounted dead nodes) and asserts they are rejected. *)
+
+type witness = {
+  w_root : int;
+  w_parents : (int * int) list;
+      (** one [(node, parent)] pair per non-root tree node, sorted;
+          every pair is a graph edge *)
+  w_height : int;  (** max BFS depth over the cluster's members *)
+}
+
+type cert = {
+  cluster : int;
+  color : int;  (** [-1] in carvings (carved clusters carry no colors) *)
+  members : int list;  (** sorted *)
+  strong : bool;
+      (** the witness tree is confined to the cluster (strong-diameter
+          certificate); [false] means host-graph (weak) witnesses *)
+  tree : witness option;
+      (** [None] only when some member is unreachable even in the host
+          graph *)
+  diameter_lb : int;
+      (** witnessed member distance ([-1] when disconnected) *)
+  lb_pair : int * int;
+  diameter_ub : int option;  (** [2 * w_height] when a tree exists *)
+}
+
+type kind = Decomposition | Carving
+
+type t = {
+  kind : kind;
+  n : int;
+  certs : cert list;  (** by cluster id *)
+  num_colors : int;  (** [0] for carvings *)
+  domain : int list;  (** sorted; every node for decompositions *)
+  dead : int;  (** claimed domain nodes left unclustered *)
+  dead_fraction : float;
+}
+
+val certify_decomposition : Cluster.Decomposition.t -> t
+
+val certify_carving : Cluster.Carving.t -> t
+
+val verify : Dsgraph.Graph.t -> t -> (unit, string) result
+(** Re-checks every claim against [g] alone: members partition the
+    domain (disjoint, in range) and the dead count and fraction are
+    recounted; no edge joins two distinct same-color clusters (for
+    carvings, where all colors are [-1], this is full cluster
+    non-adjacency); every witness tree is a real tree — each pair a
+    graph edge, acyclic, rooted at a member, spanning exactly the
+    members (strong) or covering all members (weak), with the claimed
+    height recomputed from the parent pointers and
+    [diameter_ub = 2 * height]; every eccentric pair's distance is
+    re-derived by reference BFS and must equal [diameter_lb], and
+    [diameter_lb <= diameter_ub] where both exist. *)
+
+val max_diameter_lb : t -> int
+(** Largest witnessed lower bound over clusters ([-1] if any cluster
+    is disconnected for its metric). *)
+
+val max_diameter_ub : t -> int option
+(** Largest certified upper bound; [None] when some cluster has no
+    witness tree. *)
+
+val pp_table : ?max_rows:int -> Format.formatter -> t -> unit
+(** Cluster-by-cluster table (size, color, witness kind, height,
+    diameter bounds); rows beyond [max_rows] (default 40) are
+    summarized in a trailing "... and k more clusters" line. *)

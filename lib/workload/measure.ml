@@ -39,8 +39,8 @@ type carve_row = {
 (* the clustering estimators use -1 as "no strong diameter exists" *)
 let diameter_opt d = if d < 0 then None else Some d
 
-let decomposition_row ?(seed = 42) ?trace (d : Algorithms.decomposer) family
-    ~n : decomp_row =
+let decomposition_result ?(seed = 42) ?trace (d : Algorithms.decomposer)
+    family ~n : decomp_row * Cluster.Decomposition.t * Graph.t =
   let g = family.Suite.build ~seed ~n in
   let cost = Congest.Cost.create ?trace () in
   let t0 = Unix.gettimeofday () in
@@ -60,27 +60,33 @@ let decomposition_row ?(seed = 42) ?trace (d : Algorithms.decomposer) family
         | Algorithms.Strong -> strong_diameter <> None)
     | Error _ -> false
   in
-  {
-    algorithm = d.name;
-    reference = d.reference;
-    kind = d.kind;
-    model = d.model;
-    family = family.Suite.name;
-    n = Graph.n g;
-    m = Graph.m g;
-    colors;
-    strong_diameter;
-    weak_diameter;
-    rounds = Congest.Cost.rounds cost;
-    messages = Congest.Cost.messages cost;
-    max_message_bits = Congest.Cost.max_message_bits cost;
-    valid;
-    seconds;
-    trace;
-  }
+  ( {
+      algorithm = d.name;
+      reference = d.reference;
+      kind = d.kind;
+      model = d.model;
+      family = family.Suite.name;
+      n = Graph.n g;
+      m = Graph.m g;
+      colors;
+      strong_diameter;
+      weak_diameter;
+      rounds = Congest.Cost.rounds cost;
+      messages = Congest.Cost.messages cost;
+      max_message_bits = Congest.Cost.max_message_bits cost;
+      valid;
+      seconds;
+      trace;
+    },
+    decomp,
+    g )
 
-let carving_row ?(seed = 42) ?trace (c : Algorithms.carver) family ~n ~epsilon
-    : carve_row =
+let decomposition_row ?seed ?trace d family ~n : decomp_row =
+  let row, _, _ = decomposition_result ?seed ?trace d family ~n in
+  row
+
+let carving_result ?(seed = 42) ?trace (c : Algorithms.carver) family ~n
+    ~epsilon : carve_row * Cluster.Carving.t * Graph.t =
   let g = family.Suite.build ~seed ~n in
   let cost = Congest.Cost.create ?trace () in
   let t0 = Unix.gettimeofday () in
@@ -102,22 +108,28 @@ let carving_row ?(seed = 42) ?trace (c : Algorithms.carver) family ~n ~epsilon
         | Ok () -> true
         | Error _ -> false)
   in
-  {
-    algorithm = c.name;
-    reference = c.reference;
-    kind = c.kind;
-    family = family.Suite.name;
-    n = Graph.n g;
-    epsilon;
-    strong_diameter;
-    weak_diameter;
-    dead_fraction = Cluster.Carving.dead_fraction carving;
-    rounds = Congest.Cost.rounds cost;
-    max_message_bits = Congest.Cost.max_message_bits cost;
-    valid;
-    seconds;
-    trace;
-  }
+  ( {
+      algorithm = c.name;
+      reference = c.reference;
+      kind = c.kind;
+      family = family.Suite.name;
+      n = Graph.n g;
+      epsilon;
+      strong_diameter;
+      weak_diameter;
+      dead_fraction = Cluster.Carving.dead_fraction carving;
+      rounds = Congest.Cost.rounds cost;
+      max_message_bits = Congest.Cost.max_message_bits cost;
+      valid;
+      seconds;
+      trace;
+    },
+    carving,
+    g )
+
+let carving_row ?seed ?trace c family ~n ~epsilon : carve_row =
+  let row, _, _ = carving_result ?seed ?trace c family ~n ~epsilon in
+  row
 
 let kind_label = function Algorithms.Weak -> "weak" | Algorithms.Strong -> "strong"
 

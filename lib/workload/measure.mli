@@ -54,6 +54,17 @@ val decomposition_row :
   n:int ->
   decomp_row
 
+val decomposition_result :
+  ?seed:int ->
+  ?trace:Congest.Trace.sink ->
+  Algorithms.decomposer ->
+  Suite.family ->
+  n:int ->
+  decomp_row * Cluster.Decomposition.t * Dsgraph.Graph.t
+(** As {!decomposition_row}, also returning the decomposition and the
+    workload graph it ran on, so callers can audit the result (see
+    {!Audit}) without re-running the algorithm. *)
+
 val carving_row :
   ?seed:int ->
   ?trace:Congest.Trace.sink ->
@@ -62,6 +73,16 @@ val carving_row :
   n:int ->
   epsilon:float ->
   carve_row
+
+val carving_result :
+  ?seed:int ->
+  ?trace:Congest.Trace.sink ->
+  Algorithms.carver ->
+  Suite.family ->
+  n:int ->
+  epsilon:float ->
+  carve_row * Cluster.Carving.t * Dsgraph.Graph.t
+(** As {!carving_row}, also returning the carving and the graph. *)
 
 val pp_decomp_table : Format.formatter -> decomp_row list -> unit
 val pp_carve_table : Format.formatter -> carve_row list -> unit

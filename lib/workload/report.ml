@@ -1,0 +1,317 @@
+type t = {
+  algo : string;
+  reference : string;
+  family : string;
+  n : int;
+  m : int;
+  seed : int;
+  epsilon : float option;
+  colors : int;
+  strong_diameter : int option;
+  weak_diameter : int;
+  dead_fraction : float option;
+  rounds : int;
+  messages : int;
+  max_message_bits : int;
+  valid : bool;
+  seconds : float;
+  events : int;
+  truncated : int;
+  metrics : Congest.Metrics.t;
+  rollups : Congest.Span.rollup list;
+  causal : Congest.Causal.t;
+  span_slack : Congest.Causal.span_slack list;
+  audit : Audit.t;
+  audit_verdict : (unit, string) result;
+}
+
+let assemble ~algo ~reference ~family ~n ~m ~seed ~epsilon ~colors
+    ~strong_diameter ~weak_diameter ~dead_fraction ~rounds ~messages
+    ~max_message_bits ~valid ~seconds ~sink ~audit ~graph =
+  let metrics = Congest.Metrics.of_trace sink in
+  let metrics = Congest.Metrics.of_spans ~into:metrics sink in
+  let causal = Congest.Causal.analyze sink in
+  let metrics = Congest.Causal.metrics ~into:metrics causal in
+  {
+    algo;
+    reference;
+    family;
+    n;
+    m;
+    seed;
+    epsilon;
+    colors;
+    strong_diameter;
+    weak_diameter;
+    dead_fraction;
+    rounds;
+    messages;
+    max_message_bits;
+    valid;
+    seconds;
+    events = Congest.Trace.length sink;
+    truncated = Congest.Trace.truncated sink;
+    metrics;
+    rollups = Congest.Span.rollups sink;
+    causal;
+    span_slack = Congest.Causal.span_breakdown sink causal;
+    audit;
+    audit_verdict = Audit.verify graph audit;
+  }
+
+let of_decomposer ?(seed = 42) (d : Algorithms.decomposer) family ~n =
+  let sink = Congest.Trace.sink ~spans:true () in
+  let row, decomp, graph =
+    Measure.decomposition_result ~seed ~trace:sink d family ~n
+  in
+  assemble ~algo:row.Measure.algorithm ~reference:row.Measure.reference
+    ~family:row.Measure.family ~n:row.Measure.n ~m:row.Measure.m ~seed
+    ~epsilon:None ~colors:row.Measure.colors
+    ~strong_diameter:row.Measure.strong_diameter
+    ~weak_diameter:row.Measure.weak_diameter ~dead_fraction:None
+    ~rounds:row.Measure.rounds ~messages:row.Measure.messages
+    ~max_message_bits:row.Measure.max_message_bits ~valid:row.Measure.valid
+    ~seconds:row.Measure.seconds ~sink
+    ~audit:(Audit.certify_decomposition decomp)
+    ~graph
+
+let of_carver ?(seed = 42) ?(epsilon = 0.25) (c : Algorithms.carver) family ~n
+    =
+  let sink = Congest.Trace.sink ~spans:true () in
+  let row, carving, graph =
+    Measure.carving_result ~seed ~trace:sink c family ~n ~epsilon
+  in
+  let counter name =
+    Congest.Metrics.counter_value
+      (Congest.Metrics.counter (Congest.Metrics.of_trace sink) name)
+  in
+  let messages = counter "messages_sent" + counter "cost_messages" in
+  assemble ~algo:row.Measure.algorithm ~reference:row.Measure.reference
+    ~family:row.Measure.family ~n:row.Measure.n
+    ~m:(Dsgraph.Graph.m graph) ~seed ~epsilon:(Some epsilon) ~colors:0
+    ~strong_diameter:row.Measure.strong_diameter
+    ~weak_diameter:row.Measure.weak_diameter
+    ~dead_fraction:(Some row.Measure.dead_fraction) ~rounds:row.Measure.rounds
+    ~messages ~max_message_bits:row.Measure.max_message_bits
+    ~valid:row.Measure.valid ~seconds:row.Measure.seconds ~sink
+    ~audit:(Audit.certify_carving carving)
+    ~graph
+
+(* ------------------------------------------------------------------ *)
+(* Markdown                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let opt_int = function Some d -> string_of_int d | None -> "-"
+let verdict_cell = function Ok () -> "ok" | Error e -> "REJECTED: " ^ e
+
+let max_chain_rows = 20
+
+let to_markdown t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# Run report: %s on %s (n=%d)\n\n" t.algo t.family t.n;
+  add "Reference: %s. Seed %d. %d events recorded" t.reference t.seed t.events;
+  if t.truncated > 0 then add " (%d truncated)" t.truncated;
+  add ".\n\n";
+  add "| quantity | value |\n|---|---|\n";
+  add "| nodes / edges | %d / %d |\n" t.n t.m;
+  (match t.epsilon with Some e -> add "| epsilon | %.3f |\n" e | None -> ());
+  if t.colors > 0 then add "| colors | %d |\n" t.colors;
+  add "| strong diameter | %s |\n" (opt_int t.strong_diameter);
+  add "| weak diameter | %d |\n" t.weak_diameter;
+  (match t.dead_fraction with
+  | Some f -> add "| dead fraction | %.4f |\n" f
+  | None -> ());
+  add "| rounds | %d |\n" t.rounds;
+  add "| messages | %d |\n" t.messages;
+  add "| max message bits | %d |\n" t.max_message_bits;
+  add "| checker verdict | %s |\n" (if t.valid then "ok" else "FAIL");
+  add "| certificate audit | %s |\n" (verdict_cell t.audit_verdict);
+  add "| wall seconds | %.3f |\n\n" t.seconds;
+  add "## Causal critical path\n\n";
+  add "%s\n\n" (Format.asprintf "%a" Congest.Causal.pp t.causal);
+  let c = t.causal in
+  add
+    "Of %d total rounds, %d are on the critical path (%d engine-charged + \
+     a %d-round happens-before chain over %d message hops) and %d are \
+     slack.%s\n\n"
+    c.Congest.Causal.rounds c.Congest.Causal.critical_rounds
+    c.Congest.Causal.engine_rounds c.Congest.Causal.chain_rounds
+    (List.length c.Congest.Causal.chain)
+    c.Congest.Causal.slack_rounds
+    (if c.Congest.Causal.exact then ""
+     else
+       " The chain is approximate: the trace contains faults, unmatched \
+        deliveries, or was truncated.");
+  (if c.Congest.Causal.chain <> [] then begin
+     add "| hop | src | dst | sent | delivered | bits |\n|---|---|---|---|---|---|\n";
+     List.iteri
+       (fun i (h : Congest.Causal.hop) ->
+         if i < max_chain_rows then
+           add "| %d | %d | %d | %d | %d | %d |\n" (i + 1) h.Congest.Causal.src
+             h.Congest.Causal.dst h.Congest.Causal.sent_round
+             h.Congest.Causal.delivered_round h.Congest.Causal.bits)
+       c.Congest.Causal.chain;
+     let rest = List.length c.Congest.Causal.chain - max_chain_rows in
+     if rest > 0 then add "\n... and %d more hops (full chain in the JSON report).\n" rest;
+     add "\n"
+   end);
+  (if t.span_slack <> [] then begin
+     add "## Critical vs. slack rounds by span\n\n";
+     add "| span | critical | slack |\n|---|---|---|\n";
+     List.iter
+       (fun (s : Congest.Causal.span_slack) ->
+         add "| %s | %d | %d |\n" s.Congest.Causal.span_path
+           s.Congest.Causal.critical s.Congest.Causal.slack)
+       t.span_slack;
+     add "\n"
+   end);
+  (if t.rollups <> [] then begin
+     add "## Phase rollups\n\n```\n%s```\n\n"
+       (Format.asprintf "%a" Congest.Span.pp_rollups t.rollups)
+   end);
+  add "## Metrics\n\n```\n%s```\n\n"
+    (Format.asprintf "%a" Congest.Metrics.pp t.metrics);
+  add "## Cluster audit\n\n";
+  add "%d clusters; max diameter lower bound %s, upper bound %s. Verdict: \
+       %s.\n\n"
+    (List.length t.audit.Audit.certs)
+    (let lb = Audit.max_diameter_lb t.audit in
+     if lb < 0 then "-" else string_of_int lb)
+    (opt_int (Audit.max_diameter_ub t.audit))
+    (verdict_cell t.audit_verdict);
+  add "```\n%s```\n" (Format.asprintf "%a" (Audit.pp_table ?max_rows:None) t.audit);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jopt_int = function Some d -> string_of_int d | None -> "null"
+let jopt_float = function Some f -> Printf.sprintf "%.6f" f | None -> "null"
+
+let to_json t =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"report\":{";
+  add "\"algo\":%s,\"reference\":%s,\"family\":%s," (jstr t.algo)
+    (jstr t.reference) (jstr t.family);
+  add "\"n\":%d,\"m\":%d,\"seed\":%d,\"epsilon\":%s," t.n t.m t.seed
+    (jopt_float t.epsilon);
+  add "\"colors\":%d,\"strong_diameter\":%s,\"weak_diameter\":%d," t.colors
+    (jopt_int t.strong_diameter) t.weak_diameter;
+  add "\"dead_fraction\":%s," (jopt_float t.dead_fraction);
+  add "\"rounds\":%d,\"messages\":%d,\"max_message_bits\":%d," t.rounds
+    t.messages t.max_message_bits;
+  add "\"valid\":%b,\"seconds\":%.6f,\"events\":%d,\"truncated\":%d}," t.valid
+    t.seconds t.events t.truncated;
+  let c = t.causal in
+  add "\"causal\":{";
+  add "\"rounds\":%d,\"sim_rounds\":%d,\"engine_rounds\":%d,"
+    c.Congest.Causal.rounds c.Congest.Causal.sim_rounds
+    c.Congest.Causal.engine_rounds;
+  add "\"chain_rounds\":%d,\"critical_rounds\":%d,\"slack_rounds\":%d,"
+    c.Congest.Causal.chain_rounds c.Congest.Causal.critical_rounds
+    c.Congest.Causal.slack_rounds;
+  add "\"exact\":%b,\"chain\":[%s]}," c.Congest.Causal.exact
+    (String.concat ","
+       (List.map
+          (fun (h : Congest.Causal.hop) ->
+            Printf.sprintf
+              "{\"src\":%d,\"dst\":%d,\"sent\":%d,\"delivered\":%d,\"bits\":%d}"
+              h.Congest.Causal.src h.Congest.Causal.dst
+              h.Congest.Causal.sent_round h.Congest.Causal.delivered_round
+              h.Congest.Causal.bits)
+          c.Congest.Causal.chain));
+  add "\"span_slack\":[%s],"
+    (String.concat ","
+       (List.map
+          (fun (s : Congest.Causal.span_slack) ->
+            Printf.sprintf "{\"span\":%s,\"critical\":%d,\"slack\":%d}"
+              (jstr s.Congest.Causal.span_path) s.Congest.Causal.critical
+              s.Congest.Causal.slack)
+          t.span_slack));
+  add "\"rollups\":[%s],"
+    (String.concat ","
+       (List.map
+          (fun (r : Congest.Span.rollup) ->
+            Printf.sprintf
+              "{\"path\":%s,\"depth\":%d,\"entries\":%d,\"rounds\":%d,\"rounds_incl\":%d,\"messages\":%d,\"messages_incl\":%d,\"bits\":%d,\"bits_incl\":%d,\"max_message_bits\":%d,\"seconds\":%.6f,\"seconds_incl\":%.6f}"
+              (jstr r.Congest.Span.path) r.Congest.Span.depth
+              r.Congest.Span.entries r.Congest.Span.rounds
+              r.Congest.Span.rounds_incl r.Congest.Span.messages
+              r.Congest.Span.messages_incl r.Congest.Span.bits
+              r.Congest.Span.bits_incl r.Congest.Span.max_message_bits
+              r.Congest.Span.seconds r.Congest.Span.seconds_incl)
+          t.rollups));
+  let metric_lines =
+    String.split_on_char '\n' (Congest.Metrics.to_jsonl t.metrics)
+    |> List.filter (fun s -> String.trim s <> "")
+  in
+  add "\"metrics\":[%s]," (String.concat "," metric_lines);
+  let a = t.audit in
+  add "\"audit\":{";
+  add "\"kind\":%s,\"n\":%d,\"num_colors\":%d,\"dead\":%d,\"dead_fraction\":%.6f,"
+    (jstr
+       (match a.Audit.kind with
+       | Audit.Decomposition -> "decomposition"
+       | Audit.Carving -> "carving"))
+    a.Audit.n a.Audit.num_colors a.Audit.dead a.Audit.dead_fraction;
+  add "\"max_diameter_lb\":%d,\"max_diameter_ub\":%s,"
+    (Audit.max_diameter_lb a)
+    (jopt_int (Audit.max_diameter_ub a));
+  add "\"verdict\":%s,"
+    (jstr (match t.audit_verdict with Ok () -> "ok" | Error e -> e));
+  add "\"certs\":[%s]}}"
+    (String.concat ","
+       (List.map
+          (fun (cert : Audit.cert) ->
+            Printf.sprintf
+              "{\"cluster\":%d,\"color\":%d,\"size\":%d,\"strong\":%b,\"height\":%s,\"diameter_lb\":%d,\"diameter_ub\":%s}"
+              cert.Audit.cluster cert.Audit.color
+              (List.length cert.Audit.members)
+              cert.Audit.strong
+              (match cert.Audit.tree with
+              | Some w -> string_of_int w.Audit.w_height
+              | None -> "null")
+              cert.Audit.diameter_lb
+              (jopt_int cert.Audit.diameter_ub))
+          a.Audit.certs));
+  Buffer.contents buf
+
+let save ?(dir = "bench_results") t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let base = Printf.sprintf "report_%s_%s" t.algo t.family in
+  let write ext contents =
+    let path = Filename.concat dir (base ^ ext) in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  [ write ".md" (to_markdown t); write ".json" (to_json t) ]
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "report: %s on %s n=%d — %s; %d rounds (%d critical, %d slack); audit %s@."
+    t.algo t.family t.n
+    (if t.valid then "valid" else "INVALID")
+    t.rounds t.causal.Congest.Causal.critical_rounds
+    t.causal.Congest.Causal.slack_rounds
+    (match t.audit_verdict with Ok () -> "ok" | Error e -> "REJECTED: " ^ e)

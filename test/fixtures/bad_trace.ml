@@ -1,0 +1,14 @@
+(* Deliberate trace-emit violations: code outside lib/congest writing
+   events straight into a sink, bypassing the simulator's event-order
+   contract (deliveries before sends, spans balanced). The lint test
+   asserts every call below is flagged. Never built — kept out of any
+   dune stanza on purpose. *)
+
+let forge_round sink =
+  Congest.Trace.record sink (Congest.Trace.Round_start { round = 99 })
+
+let forge_message sink =
+  Congest.Trace.emit_message_sent sink ~round:1 ~src:0 ~dst:1 ~bits:32;
+  Congest.Trace.emit_message_delivered sink ~round:2 ~src:0 ~dst:1 ~bits:32
+
+let unbalanced_span sink = Congest.Trace.exit_span sink

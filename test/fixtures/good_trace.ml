@@ -1,0 +1,18 @@
+(* Clean counterpart to bad_trace.ml: read-only consumers of a sink —
+   replay, metrics, persistence — are allowed anywhere. Never built. *)
+
+let event_count sink = Congest.Trace.length sink
+
+let rounds_seen sink =
+  let n = ref 0 in
+  Congest.Trace.iter
+    (fun ev -> match ev with Congest.Trace.Round_start _ -> incr n | _ -> ())
+    sink;
+  !n
+
+let persist sink = Congest.Trace.save ~file:"events.jsonl" sink
+
+let replay sink =
+  let metrics = Congest.Metrics.of_trace sink in
+  let causal = Congest.Causal.analyze sink in
+  (metrics, causal)

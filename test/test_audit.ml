@@ -1,0 +1,212 @@
+(* Tests for Workload.Audit: per-cluster quality certificates and their
+   independent re-verification against the raw graph.
+
+   The certificates of honest runs must verify; the load-bearing tests
+   seed corruptions — a wrong diameter witness, overlapping colors,
+   miscounted dead nodes, and structural tampering — and assert that
+   [Audit.verify] rejects every one. The verifier only consults the
+   graph, so these rejections hold no matter which algorithm produced
+   the certificate. *)
+
+module Audit = Workload.Audit
+open Dsgraph
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* abcp96 on grid64 yields many clusters over 2 colors, several with
+   more than one member — enough structure for every corruption below
+   (the paper's own algorithms often cover small grids with a single
+   cluster, which would leave the adjacency corruptions nothing to
+   corrupt) *)
+let decomp_fixture =
+  lazy
+    (let d = Workload.Algorithms.find_decomposer "abcp96" in
+     let _, decomp, g =
+       Workload.Measure.decomposition_result d Workload.Suite.grid ~n:64
+     in
+     (Audit.certify_decomposition decomp, g))
+
+let carve_fixture =
+  lazy
+    (let c = Workload.Algorithms.find_carver "thm2.2" in
+     let _, carving, g =
+       Workload.Measure.carving_result c Workload.Suite.grid ~n:64
+         ~epsilon:0.25
+     in
+     (Audit.certify_carving carving, g))
+
+let is_ok = function Ok () -> true | Error _ -> false
+
+let expect_reject what g t =
+  match Audit.verify g t with
+  | Ok () -> Alcotest.failf "corruption not rejected: %s" what
+  | Error _ -> ()
+
+(* rebuild the audit with cluster [i]'s certificate transformed *)
+let tamper t i f =
+  {
+    t with
+    Audit.certs =
+      List.map
+        (fun (c : Audit.cert) -> if c.Audit.cluster = i then f c else c)
+        t.Audit.certs;
+  }
+
+let test_honest_decomposition_verifies () =
+  let t, g = Lazy.force decomp_fixture in
+  (match Audit.verify g t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "honest decomposition rejected: %s" e);
+  check bool "has clusters" true (t.Audit.certs <> []);
+  check bool "decompositions leave nobody dead" true (t.Audit.dead = 0);
+  check bool "bounds are consistent" true
+    (match Audit.max_diameter_ub t with
+    | Some ub -> Audit.max_diameter_lb t <= ub
+    | None -> false)
+
+let test_honest_carving_verifies () =
+  let t, g = Lazy.force carve_fixture in
+  (match Audit.verify g t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "honest carving rejected: %s" e);
+  List.iter
+    (fun (c : Audit.cert) ->
+      check bool "carved clusters carry no colors" true (c.Audit.color = -1))
+    t.Audit.certs
+
+(* corruption 1: wrong diameter witness — inflate the claimed height
+   (and the upper bound consistently); the verifier recomputes depths
+   from the parent pointers and must notice *)
+let test_rejects_wrong_witness_height () =
+  let t, g = Lazy.force decomp_fixture in
+  let big =
+    List.find
+      (fun (c : Audit.cert) -> List.length c.Audit.members > 1)
+      t.Audit.certs
+  in
+  let bad =
+    tamper t big.Audit.cluster (fun c ->
+        match c.Audit.tree with
+        | Some w ->
+            let w = { w with Audit.w_height = w.Audit.w_height + 1 } in
+            {
+              c with
+              Audit.tree = Some w;
+              diameter_ub = Some (2 * w.Audit.w_height);
+            }
+        | None -> c)
+  in
+  expect_reject "inflated witness height" g bad
+
+(* corruption 1b: tampered eccentric pair — the claimed lower bound no
+   longer matches the BFS distance of the named pair *)
+let test_rejects_wrong_diameter_lb () =
+  let t, g = Lazy.force decomp_fixture in
+  let big =
+    List.find
+      (fun (c : Audit.cert) -> List.length c.Audit.members > 1)
+      t.Audit.certs
+  in
+  let bad =
+    tamper t big.Audit.cluster (fun c ->
+        { c with Audit.diameter_lb = c.Audit.diameter_lb + 1 })
+  in
+  expect_reject "inflated diameter lower bound" g bad
+
+(* corruption 2: overlapping colors — recolor one cluster to the color
+   of an adjacent cluster; one edge scan must refute disjointness *)
+let test_rejects_overlapping_colors () =
+  let t, g = Lazy.force decomp_fixture in
+  let owner = Array.make t.Audit.n (-1) in
+  List.iter
+    (fun (c : Audit.cert) ->
+      List.iter (fun v -> owner.(v) <- c.Audit.cluster) c.Audit.members)
+    t.Audit.certs;
+  let pair = ref None in
+  Graph.iter_edges g (fun u v ->
+      if !pair = None && owner.(u) >= 0 && owner.(v) >= 0 && owner.(u) <> owner.(v)
+      then pair := Some (owner.(u), owner.(v)));
+  match !pair with
+  | None -> Alcotest.fail "fixture has no adjacent cluster pair"
+  | Some (a, b) ->
+      let color_of i =
+        (List.find (fun (c : Audit.cert) -> c.Audit.cluster = i) t.Audit.certs)
+          .Audit.color
+      in
+      let bad = tamper t a (fun c -> { c with Audit.color = color_of b }) in
+      expect_reject "adjacent clusters share a color" g bad
+
+(* corruption 3: miscounted dead nodes *)
+let test_rejects_miscounted_dead () =
+  let t, g = Lazy.force carve_fixture in
+  expect_reject "dead count off by one" g
+    { t with Audit.dead = t.Audit.dead + 1 };
+  expect_reject "dead fraction tampered" g
+    { t with Audit.dead_fraction = t.Audit.dead_fraction +. 0.125 }
+
+(* corruption 4: structural tampering — stolen members and forged tree
+   edges must also fall to the graph-only checks *)
+let test_rejects_structural_tampering () =
+  let t, g = Lazy.force decomp_fixture in
+  (match t.Audit.certs with
+  | (a : Audit.cert) :: (b : Audit.cert) :: _ ->
+      let stolen = List.hd a.Audit.members in
+      let bad =
+        tamper t b.Audit.cluster (fun c ->
+            { c with Audit.members = stolen :: c.Audit.members })
+      in
+      expect_reject "member claimed by two clusters" g bad
+  | _ -> Alcotest.fail "fixture has fewer than two clusters");
+  let with_tree =
+    List.find
+      (fun (c : Audit.cert) ->
+        match c.Audit.tree with
+        | Some w -> w.Audit.w_parents <> []
+        | None -> false)
+      t.Audit.certs
+  in
+  let bad =
+    tamper t with_tree.Audit.cluster (fun c ->
+        match c.Audit.tree with
+        | Some w ->
+            let far v = if v >= 32 then 0 else t.Audit.n - 1 in
+            let w_parents =
+              match w.Audit.w_parents with
+              | (v, _) :: rest -> (v, far v) :: rest
+              | [] -> []
+            in
+            { c with Audit.tree = Some { w with Audit.w_parents } }
+        | None -> c)
+  in
+  expect_reject "forged tree edge" g bad
+
+let test_verify_is_independent () =
+  (* a certificate for the wrong graph must be rejected outright *)
+  let t, _ = Lazy.force decomp_fixture in
+  let other = Gen.grid 4 4 in
+  check bool "wrong graph rejected" false (is_ok (Audit.verify other t))
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "audit",
+        [
+          Alcotest.test_case "honest decomposition verifies" `Quick
+            test_honest_decomposition_verifies;
+          Alcotest.test_case "honest carving verifies" `Quick
+            test_honest_carving_verifies;
+          Alcotest.test_case "rejects inflated witness height" `Quick
+            test_rejects_wrong_witness_height;
+          Alcotest.test_case "rejects tampered diameter lower bound" `Quick
+            test_rejects_wrong_diameter_lb;
+          Alcotest.test_case "rejects overlapping colors" `Quick
+            test_rejects_overlapping_colors;
+          Alcotest.test_case "rejects miscounted dead nodes" `Quick
+            test_rejects_miscounted_dead;
+          Alcotest.test_case "rejects structural tampering" `Quick
+            test_rejects_structural_tampering;
+          Alcotest.test_case "verification is graph-anchored" `Quick
+            test_verify_is_independent;
+        ] );
+    ]

@@ -73,6 +73,28 @@ let test_allow_and_disable () =
   check int "disabled rule silent" 0 (count "physeq" findings);
   check int "disable is per-rule" 2 (count "random" findings)
 
+let test_bad_trace_fixture () =
+  let findings = Lint_core.lint_file (fixture "bad_trace.ml") in
+  check
+    Alcotest.(list string)
+    "only trace-emit trips" [ "trace-emit" ] (rules_of findings);
+  (* record + emit_message_sent + emit_message_delivered + exit_span *)
+  check int "every writer call found" 4 (count "trace-emit" findings);
+  (* the default config allow-lists the one legitimate writer site *)
+  let inside_congest =
+    {
+      Lint_core.disabled = [];
+      allow = [ ("trace-emit", "fixtures") ];
+    }
+  in
+  check int "allow-listed under lib/congest-style paths" 0
+    (List.length
+       (Lint_core.lint_file ~config:inside_congest (fixture "bad_trace.ml")))
+
+let test_good_trace_fixture () =
+  check int "trace consumers lint clean" 0
+    (List.length (Lint_core.lint_file (fixture "good_trace.ml")))
+
 let test_parse_error () =
   let path = Filename.temp_file "lint_garbage" ".ml" in
   let oc = open_out path in
@@ -119,6 +141,10 @@ let () =
           Alcotest.test_case "bad fixture trips every rule" `Quick
             test_bad_fixture;
           Alcotest.test_case "good fixture is clean" `Quick test_good_fixture;
+          Alcotest.test_case "trace writers outside lib/congest flagged"
+            `Quick test_bad_trace_fixture;
+          Alcotest.test_case "trace consumers allowed anywhere" `Quick
+            test_good_trace_fixture;
           Alcotest.test_case "allow and disable lists" `Quick
             test_allow_and_disable;
           Alcotest.test_case "parse error degrades to finding" `Quick

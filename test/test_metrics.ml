@@ -1,0 +1,161 @@
+(* Edge-case tests for the Congest.Metrics emitters: empty traces,
+   single-round runs, and power-of-two histogram boundary values
+   round-tripped through both serialization formats (CSV long format
+   and JSONL). The bucket contract under test: the bucket labeled with
+   upper bound [2^k] counts observations with [2^(k-1) <= v < 2^k], and
+   values [<= 0] land in the bucket labeled [1]. *)
+
+module Trace = Congest.Trace
+module Metrics = Congest.Metrics
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let counter_value m name = Metrics.counter_value (Metrics.counter m name)
+
+(* parse "metric,stat,value" long-format CSV rows back out *)
+let csv_rows m =
+  Metrics.to_csv m |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         match String.split_on_char ',' line with
+         | [ metric; stat; value ] when metric <> "metric" ->
+             Some (metric, stat, value)
+         | _ -> None)
+
+(* (ub, count) bucket list of [name], recovered from the lt_<ub> rows *)
+let csv_buckets m name =
+  List.filter_map
+    (fun (metric, stat, value) ->
+      if
+        metric = name
+        && String.length stat > 3
+        && String.sub stat 0 3 = "lt_"
+      then
+        Some
+          ( int_of_string (String.sub stat 3 (String.length stat - 3)),
+            int_of_string value )
+      else None)
+    (csv_rows m)
+
+(* (ub, count) bucket list recovered from the "buckets":[[ub,k],...]
+   field of [name]'s JSONL object *)
+let jsonl_buckets m name =
+  let line =
+    Metrics.to_jsonl m |> String.split_on_char '\n'
+    |> List.find (fun l ->
+           let needle = Printf.sprintf "\"metric\":\"%s\"" name in
+           let n = String.length needle and len = String.length l in
+           let rec go i = i + n <= len && (String.sub l i n = needle || go (i + 1)) in
+           go 0)
+  in
+  let start =
+    let needle = "\"buckets\":[" in
+    let n = String.length needle and len = String.length line in
+    let rec go i =
+      if i + n > len then failwith "no buckets field"
+      else if String.sub line i n = needle then i + n
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec parse i acc =
+    match line.[i] with
+    | ']' -> List.rev acc
+    | '[' ->
+        let close = String.index_from line i ']' in
+        let body = String.sub line (i + 1) (close - i - 1) in
+        let pair =
+          match String.split_on_char ',' body with
+          | [ ub; k ] -> (int_of_string ub, int_of_string k)
+          | _ -> failwith "malformed bucket pair"
+        in
+        parse (close + 1) (pair :: acc)
+    | _ -> parse (i + 1) acc
+  in
+  parse start []
+
+let test_empty_trace () =
+  let m = Metrics.of_trace (Trace.sink ()) in
+  (* the standard counters are registered up front, all zero *)
+  List.iter
+    (fun name ->
+      check int (name ^ " is zero") 0 (counter_value m name))
+    [
+      "rounds";
+      "messages_sent";
+      "messages_delivered";
+      "messages_dropped";
+      "nodes_halted";
+    ];
+  check int "empty histogram count" 0
+    (Metrics.hist_count (Metrics.histogram m "bits_per_message"));
+  (* both dumps stay well-formed: every CSV row parses, every JSONL
+     histogram reports count/min/max of 0 with no buckets *)
+  Alcotest.(check bool) "csv has rows" true (csv_rows m <> []);
+  check int "no csv buckets" 0 (List.length (csv_buckets m "bits_per_message"));
+  check int "no jsonl buckets" 0
+    (List.length (jsonl_buckets m "bits_per_message"))
+
+let test_single_round () =
+  let s = Trace.sink () in
+  Trace.record s (Trace.Round_start { round = 1 });
+  Trace.emit_message_sent s ~round:1 ~src:0 ~dst:1 ~bits:5;
+  Trace.record s
+    (Trace.Round_end { round = 1; sent = 1; delivered = 0; in_flight = 1; halted = 0 });
+  let m = Metrics.of_trace s in
+  check int "one round" 1 (counter_value m "rounds");
+  check int "one send" 1 (counter_value m "messages_sent");
+  check int "no deliveries" 0 (counter_value m "messages_delivered");
+  (* 5 bits: 4 <= 5 < 8, so the single bucket has upper bound 8 *)
+  check
+    Alcotest.(list (pair int int))
+    "csv bucket boundary" [ (8, 1) ]
+    (csv_buckets m "bits_per_message");
+  check
+    Alcotest.(list (pair int int))
+    "jsonl agrees with csv"
+    (csv_buckets m "bits_per_message")
+    (jsonl_buckets m "bits_per_message")
+
+let test_pow2_boundaries () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "edges" in
+  (* boundary values around each power of two, plus the non-positive
+     degenerates that all land in the lt_1 bucket *)
+  List.iter (Metrics.observe h)
+    [ -3; 0; 1; 2; 3; 4; 7; 8; (1 lsl 20) - 1; 1 lsl 20; (1 lsl 20) + 1 ];
+  let expected =
+    [
+      (1, 2) (* -3, 0 *);
+      (2, 1) (* 1 *);
+      (4, 2) (* 2, 3 *);
+      (8, 2) (* 4, 7 *);
+      (16, 1) (* 8 *);
+      (1 lsl 20, 1) (* 2^20 - 1 *);
+      (1 lsl 21, 2) (* 2^20, 2^20 + 1 *);
+    ]
+  in
+  check
+    Alcotest.(list (pair int int))
+    "hist_buckets boundaries" expected (Metrics.hist_buckets h);
+  check
+    Alcotest.(list (pair int int))
+    "csv round-trips the buckets" expected (csv_buckets m "edges");
+  check
+    Alcotest.(list (pair int int))
+    "jsonl round-trips the buckets" expected (jsonl_buckets m "edges");
+  check int "count" 11 (Metrics.hist_count h);
+  check int "min" (-3) (Metrics.hist_min h);
+  check int "max" ((1 lsl 20) + 1) (Metrics.hist_max h)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "empty trace" `Quick test_empty_trace;
+          Alcotest.test_case "single-round run" `Quick test_single_round;
+          Alcotest.test_case "pow2 bucket boundaries round-trip" `Quick
+            test_pow2_boundaries;
+        ] );
+    ]

@@ -19,11 +19,28 @@ let rules =
     ( "print-in-program",
       "printing inside a Sim.program: nodes talk through outboxes only" );
     ("physeq", "physical equality (==/!=) is representation-dependent");
+    ( "trace-emit",
+      "writing trace events outside lib/congest bypasses the sink's \
+       event-order contract" );
     ("parse-error", "file does not parse");
   ]
 
 let default_config =
-  { disabled = []; allow = [ ("random", "dsgraph/rng") ] }
+  {
+    disabled = [];
+    allow = [ ("random", "dsgraph/rng"); ("trace-emit", "lib/congest") ];
+  }
+
+(* Trace writers: the record/emit side of the sink API. Consumers
+   (length, iter, events, clear, of_jsonl, ...) are fine anywhere. *)
+let trace_emit_names =
+  [
+    "record";
+    "emit_message_sent";
+    "emit_message_delivered";
+    "enter_span";
+    "exit_span";
+  ]
 
 (* substring check, for allow-list path matching *)
 let contains ~sub s =
@@ -79,6 +96,10 @@ let lint_structure ~config ~file structure =
     | ("==" | "!=") :: _ ->
         add loc "physeq"
           (List.hd (List.rev path) ^ ": use structural (=/<>) equality")
+    | name :: "Trace" :: _ when List.mem name trace_emit_names ->
+        add loc "trace-emit"
+          (String.concat "." path
+          ^ ": only lib/congest may write trace events")
     | _ -> ()
   in
   (* depth of enclosing { init; round; ... } program literals *)

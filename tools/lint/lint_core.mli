@@ -17,7 +17,13 @@
       inside a [Sim.program] record ([{ init; round; … }]): node
       programs may only communicate through their outboxes;
     - [physeq] — physical equality [==] / [!=], which on immutable
-      values is a latent nondeterminism.
+      values is a latent nondeterminism;
+    - [trace-emit] — calling the writer side of the trace sink API
+      ([Trace.record], [Trace.emit_message_*], [Trace.enter_span] /
+      [exit_span]) outside [lib/congest]: forged events break the
+      stream's event-order contract that every replay consumer
+      ([Metrics], [Span], [Causal]) relies on. Read-only consumers are
+      allowed anywhere.
 
     Findings are reported with the compiler's notion of location. *)
 
@@ -41,7 +47,8 @@ val rules : (string * string) list
 
 val default_config : config
 (** No rules disabled; [Stdlib.Random] allowed in [dsgraph/rng] (the one
-    sanctioned wrapper). *)
+    sanctioned wrapper) and trace writers allowed in [lib/congest] (the
+    instrumentation layer itself). *)
 
 val lint_file : ?config:config -> string -> finding list
 (** Parse and check one [.ml] file. A file that does not parse yields a
