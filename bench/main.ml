@@ -29,8 +29,15 @@ let mode =
   | _ :: "trace" :: _ -> `Trace
   | _ :: "conform" :: _ -> `Conform
   | _ :: "causal" :: _ -> `Causal
+  | _ :: "chaos" :: _ -> `Chaos
   | _ :: "record" :: _ -> `Record
   | _ -> `Standard
+
+(* `chaos quick` shrinks the sweep to CI-smoke size *)
+let chaos_quick =
+  match Array.to_list Sys.argv with
+  | _ :: "chaos" :: "quick" :: _ -> true
+  | _ -> false
 
 (* surface the simulator's incomplete-run warnings (Sim.simulate with
    on_incomplete = `Warn logs to the "congest.sim" source) *)
@@ -1019,6 +1026,182 @@ let run_causal_only () =
     (Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
+(* B.CHAOS: seeded chaos sweep + repair-cost headline                    *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos = Workload.Chaos
+module Repair = Workload.Repair
+module Audit = Workload.Audit
+
+(* The R.REPAIR acceptance row: greedy on grid256, crash node 128 with
+   halo 1, verify the repair certificate, then time a from-scratch
+   re-run of the same engine on the survivor subgraph (including
+   certification) as the cost denominator. Returns the repair report,
+   the edge count of the region handed to the re-carver, and the
+   scratch seconds. *)
+let repair_trial ~trial =
+  let fam = Suite.find "grid" in
+  let g = fam.Suite.build ~seed ~n:256 in
+  let dec = Algorithms.find_decomposer "greedy" in
+  let d = dec.Algorithms.run ~cost:(Congest.Cost.create ()) ~seed g in
+  let session = Repair.start_decomposition d in
+  let region_edges = ref 0 in
+  let recarve sub =
+    region_edges := Graph.m sub;
+    Repair.recarve_decomposer dec ~seed:(seed + trial) sub
+  in
+  let delta = Cluster.Repair.delta ~crash:[ 128 ] () in
+  let s', rep = Repair.repair ~halo:1 ~recarve session delta in
+  let post = Cluster.Repair.graph s'.Repair.state in
+  (match Repair.verify_cert ~prev:session ~post rep.Repair.cert with
+  | Ok () -> ()
+  | Error e -> failwith ("repair headline certificate rejected: " ^ e));
+  let t0 = Unix.gettimeofday () in
+  let survivors = Mask.to_list (Cluster.Repair.survivors s'.Repair.state) in
+  let sub, _back = Subgraph.induce post survivors in
+  let labels, lcolors =
+    Repair.recarve_decomposer dec ~seed:(seed + trial) sub
+  in
+  let cl = Cluster.Clustering.make sub ~cluster_of:labels in
+  let k = Cluster.Clustering.num_clusters cl in
+  let color_of_cluster =
+    Array.init k (fun c ->
+        match Cluster.Clustering.members cl c with
+        | [] -> 0
+        | v :: _ -> max 0 lcolors.(labels.(v)))
+  in
+  let audit =
+    Audit.certify_decomposition
+      (Cluster.Decomposition.make cl ~color_of_cluster)
+  in
+  (match Audit.verify sub audit with
+  | Ok () -> ()
+  | Error e -> failwith ("repair headline scratch audit rejected: " ^ e));
+  let scratch_seconds = Unix.gettimeofday () -. t0 in
+  (rep, !region_edges, scratch_seconds)
+
+let median3 a b c =
+  match List.sort compare [ a; b; c ] with
+  | [ _; m; _ ] -> m
+  | _ -> assert false
+
+let run_chaos_only () =
+  let t0 = Unix.gettimeofday () in
+  let count = if chaos_quick then 25 else 200 in
+  section
+    (Printf.sprintf
+       "B.CHAOS -- %d seeded fault schedules through detect -> repair -> \
+        re-audit"
+       count);
+  let specs = Chaos.default_specs ~count ~seed () in
+  let results = Chaos.sweep specs in
+  let rows = List.concat_map (fun r -> r.Chaos.rows) results in
+  let failures =
+    List.concat
+      (List.map2
+         (fun sp r ->
+           List.map
+             (fun (step, msg) ->
+               Printf.sprintf "%s/%s%d seed=%d step %d: %s"
+                 (Chaos.algo_label sp.Chaos.algo)
+                 sp.Chaos.family sp.Chaos.n sp.Chaos.seed step msg)
+             r.Chaos.failures)
+         specs results)
+  in
+  (* per-algorithm roll-up *)
+  let labels =
+    List.sort_uniq compare
+      (List.map (fun sp -> Chaos.algo_label sp.Chaos.algo) specs)
+  in
+  Format.fprintf fmt "%-14s %9s %6s %10s %10s %10s@." "algorithm"
+    "schedules" "steps" "mean_touch" "max_touch" "cost_ratio";
+  List.iter
+    (fun label ->
+      let mine =
+        List.filter
+          (fun row -> Chaos.algo_label row.Chaos.r_spec.Chaos.algo = label)
+          rows
+      in
+      let steps = List.length mine in
+      let schedules =
+        List.length
+          (List.filter
+             (fun sp -> Chaos.algo_label sp.Chaos.algo = label)
+             specs)
+      in
+      let touch = List.map (fun r -> r.Chaos.touched_fraction) mine in
+      let mean xs =
+        if xs = [] then 0.0
+        else List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+      in
+      let ratio =
+        mean
+          (List.map
+             (fun r ->
+               r.Chaos.repair_seconds /. Float.max 1e-9 r.Chaos.scratch_seconds)
+             mine)
+      in
+      Format.fprintf fmt "%-14s %9d %6d %10.3f %10.3f %10.3f@." label
+        schedules steps (mean touch)
+        (List.fold_left Float.max 0.0 touch)
+        ratio)
+    labels;
+  Format.fprintf fmt "@.%d schedules, %d repair steps, %d invariant \
+                      violations@."
+    (List.length specs) (List.length rows) (List.length failures);
+  List.iter (fun msg -> Format.fprintf fmt "  VIOLATION %s@." msg) failures;
+  (* grid256 single-crash headline, median of three trials *)
+  section
+    "B.REPAIR -- grid256/greedy single-crash headline (median of 3 trials)";
+  let trials = List.map (fun t -> (t, repair_trial ~trial:t)) [ 1; 2; 3 ] in
+  let med f = match trials with
+    | [ (_, a); (_, b); (_, c) ] -> median3 (f a) (f b) (f c)
+    | _ -> assert false
+  in
+  let med_repair = med (fun (rep, _, _) -> rep.Repair.seconds) in
+  let med_scratch = med (fun (_, _, s) -> s) in
+  let med_touched = med (fun (rep, _, _) -> rep.Repair.touched_fraction) in
+  let ratio = med_repair /. Float.max 1e-9 med_scratch in
+  Format.fprintf fmt
+    "touched fraction %.4f (bound 0.25), repair %.2f ms vs scratch %.2f ms \
+     (ratio %.3f, bound 0.50)@."
+    med_touched (1000.0 *. med_repair) (1000.0 *. med_scratch) ratio;
+  let headline_ok = med_touched <= 0.25 && ratio <= 0.50 in
+  Format.fprintf fmt "headline: %s@."
+    (if headline_ok then "PASS" else "FAIL");
+  (try
+     let dir = "bench_results" in
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+     let write name contents =
+       let oc = open_out (Filename.concat dir name) in
+       output_string oc contents;
+       close_out oc
+     in
+     write "chaos.csv" (Chaos.csv rows);
+     let buf = Buffer.create 512 in
+     Buffer.add_string buf
+       "workload,trial,dirty,carried,fresh,touched,touched_fraction,region_edges,repair_seconds,scratch_seconds,cost_ratio\n";
+     List.iter
+       (fun (t, (rep, edges, scratch_s)) ->
+         Buffer.add_string buf
+           (Printf.sprintf "repair/greedy_grid256,%d,%d,%d,%d,%d,%.4f,%d,%.6f,%.6f,%.3f\n"
+              t rep.Repair.dirty_clusters rep.Repair.carried_clusters
+              rep.Repair.fresh_clusters rep.Repair.touched_nodes
+              rep.Repair.touched_fraction edges rep.Repair.seconds scratch_s
+              (rep.Repair.seconds /. Float.max 1e-9 scratch_s)))
+       trials;
+     Buffer.add_string buf
+       (Printf.sprintf "repair/greedy_grid256,median,,,,,%.4f,,%.6f,%.6f,%.3f\n"
+          med_touched med_repair med_scratch ratio);
+     write "repair_cost.csv" (Buffer.contents buf);
+     Format.fprintf fmt
+       "@.CSV dumps written to %s/chaos.csv and %s/repair_cost.csv@." dir dir
+   with Sys_error e -> Format.fprintf fmt "@.(skipping CSV dump: %s)@." e);
+  Format.fprintf fmt "@.total benchmark time: %.1f s@."
+    (Unix.gettimeofday () -. t0);
+  if failures <> [] || not headline_ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* B.RECORD: persistent headline-metrics time series                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1052,12 +1235,26 @@ let record_entries () =
       List.length (Congest.Span.rollups sink),
       seconds )
   in
+  (* repair headline, mapped onto the snapshot shape so the >10%
+     comparator guards locality and cost: rounds := touched nodes,
+     messages := dirty clusters, max_bits := region edges, phases :=
+     fresh clusters, seconds := repair wall time *)
+  let repair_entry () =
+    let rep, region_edges, _scratch = repair_trial ~trial:1 in
+    ( "repair/greedy_grid256",
+      rep.Repair.touched_nodes,
+      rep.Repair.dirty_clusters,
+      region_edges,
+      rep.Repair.fresh_clusters,
+      rep.Repair.seconds )
+  in
   [
     decomp "thm2.3" 256;
     decomp "thm3.4" 256;
     decomp "ggr21" 256;
     decomp "mpx" 256;
     sim ();
+    repair_entry ();
   ]
 
 let record_json entries =
@@ -1232,8 +1429,9 @@ let () =
      smoke test,@.'faults' for the graceful-degradation sweep only, 'trace' \
      for the observability@.overhead experiments only, 'conform' for the \
      verifier-overhead experiment@.only, 'causal' for the critical-path \
-     analyzer replay cost, 'record' to append@.a headline snapshot to the \
-     persistent BENCH_trajectory.json)@."
+     analyzer replay cost, 'chaos' for the@.self-healing sweep and the \
+     repair-cost headline ('chaos quick' for a smoke),@.'record' to append \
+     a headline snapshot to the persistent BENCH_trajectory.json)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
@@ -1242,11 +1440,13 @@ let () =
     | `Trace -> "trace"
     | `Conform -> "conform"
     | `Causal -> "causal"
+    | `Chaos -> if chaos_quick then "chaos (quick)" else "chaos"
     | `Record -> "record");
   if mode = `Faults then run_faults_only ()
   else if mode = `Trace then run_trace_only ()
   else if mode = `Conform then run_conform_only ()
   else if mode = `Causal then run_causal_only ()
+  else if mode = `Chaos then run_chaos_only ()
   else if mode = `Record then run_record_only ()
   else begin
   let t0 = Unix.gettimeofday () in

@@ -583,6 +583,135 @@ let report_cmd =
       const run $ algo_pos $ family_pos $ n_arg $ seed_arg $ epsilon_arg
       $ out_dir_arg)
 
+let repair_cmd =
+  let algo_pos =
+    Arg.(
+      value & pos 0 string "greedy"
+      & info [] ~docv:"ALGO"
+          ~doc:
+            "Algorithm to heal (a decomposer name, or a carver name with \
+             $(b,--carve)).")
+  in
+  let family_pos =
+    Arg.(
+      value & pos 1 string "grid"
+      & info [] ~docv:"FAMILY" ~doc:"Workload family.")
+  in
+  let carve_arg =
+    Arg.(
+      value & flag
+      & info [ "carve" ]
+          ~doc:"Treat ALGO as a carver (Table 2) instead of a decomposer.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "steps" ] ~docv:"K" ~doc:"Fault deltas to inject and repair.")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "crashes" ] ~docv:"K" ~doc:"Crash-stops per delta (at most).")
+  in
+  let revive_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "revive-prob" ] ~docv:"P"
+          ~doc:"Per-step revival probability of each down node.")
+  in
+  let dels_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "edge-dels" ] ~docv:"K" ~doc:"Edge deletions per delta.")
+  in
+  let adds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "edge-adds" ] ~docv:"K" ~doc:"Edge insertions per delta.")
+  in
+  let halo_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "halo" ] ~docv:"H"
+          ~doc:
+            "Dirty every cluster within distance H of a fault site (0 = \
+             minimal certified invalidation).")
+  in
+  let max_touched_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "max-touched" ] ~docv:"F"
+          ~doc:
+            "Fail if a repair touches more than this fraction of the \
+             survivors (>= 1 disables the bound).")
+  in
+  let run algo family n seed epsilon carve steps crashes revive_prob edge_dels
+      edge_adds halo max_touched =
+    ignore (lookup_family family);
+    let algo_spec =
+      if carve then Workload.Chaos.Carver algo else Workload.Chaos.Decomposer algo
+    in
+    (match algo_spec with
+    | Workload.Chaos.Decomposer a -> (
+        try ignore (Algorithms.find_decomposer a)
+        with Not_found ->
+          Format.eprintf "unknown decomposer %s@." a;
+          exit 2)
+    | Workload.Chaos.Carver a -> (
+        try ignore (Algorithms.find_carver a)
+        with Not_found ->
+          Format.eprintf "unknown carver %s@." a;
+          exit 2));
+    let sp =
+      Workload.Chaos.spec algo_spec ~family ~n ~seed ~epsilon ~steps ~crashes
+        ~revive_prob ~edge_dels ~edge_adds ~halo ~max_touched
+    in
+    let r = Workload.Chaos.run sp in
+    Format.printf "%s on %s (n=%d, seed=%d, halo=%d)@.@."
+      (Workload.Chaos.algo_label algo_spec)
+      family n seed halo;
+    List.iter
+      (fun (row : Workload.Chaos.step_row) ->
+        Format.printf
+          "step %d: -%d nodes +%d nodes -%d/+%d edges | dirty=%d carried=%d \
+           fresh=%d touched=%d/%d (%.1f%%) | repair %.2fms vs scratch %.2fms \
+           (x%.2f)%s@."
+          row.Workload.Chaos.step row.Workload.Chaos.d_crashes
+          row.Workload.Chaos.d_revives row.Workload.Chaos.d_dels
+          row.Workload.Chaos.d_adds row.Workload.Chaos.dirty
+          row.Workload.Chaos.carried row.Workload.Chaos.fresh
+          row.Workload.Chaos.touched row.Workload.Chaos.survivors
+          (100.0 *. row.Workload.Chaos.touched_fraction)
+          (1000.0 *. row.Workload.Chaos.repair_seconds)
+          (1000.0 *. row.Workload.Chaos.scratch_seconds)
+          (row.Workload.Chaos.repair_seconds
+          /. Float.max 1e-9 row.Workload.Chaos.scratch_seconds)
+          (match row.Workload.Chaos.violations with
+          | [] -> ""
+          | vs -> Format.asprintf " VIOLATIONS: %s" (String.concat "; " vs)))
+      r.Workload.Chaos.rows;
+    Format.printf "@.";
+    match r.Workload.Chaos.failures with
+    | [] ->
+        Format.printf
+          "all %d repairs certified: untouched clusters byte-identical, \
+           merged audits accepted@."
+          steps
+    | fs ->
+        Format.printf "%d invariant violation(s)@." (List.length fs);
+        exit 1
+  in
+  let doc =
+    "inject seeded fault deltas (crash / churn / edge faults) and heal the \
+     decomposition by local re-carving, verifying a repair certificate after \
+     every step"
+  in
+  Cmd.v (Cmd.info "repair" ~doc)
+    Term.(
+      const run $ algo_pos $ family_pos $ n_arg $ seed_arg $ epsilon_arg
+      $ carve_arg $ steps_arg $ crashes_arg $ revive_arg $ dels_arg $ adds_arg
+      $ halo_arg $ max_touched_arg)
+
 let list_cmd =
   let run () =
     Format.printf "families:@.";
@@ -617,6 +746,7 @@ let () =
             faults_cmd;
             trace_cmd;
             profile_cmd;
+            repair_cmd;
             report_cmd;
             conform_cmd;
             list_cmd;

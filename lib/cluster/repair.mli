@@ -1,0 +1,152 @@
+(** Local repair of decompositions and carvings under fault deltas.
+
+    A long-running decomposition service cannot re-run its algorithm
+    from scratch on every fault. This engine maintains a {e fault
+    state} (which nodes are crash-stopped, which edges deviate from the
+    base graph), computes — per fault delta — the {e dirty region}:
+    exactly the clusters whose membership, witness tree, or separation
+    the delta can invalidate, and re-carves only that region on the
+    survivor subgraph, merging the result with the untouched clusters.
+
+    The dirty rules mirror what the certificate verifier
+    ([Workload.Audit.verify]) checks, so a cluster is dirtied iff its
+    certificate could now be rejected:
+
+    - a cluster containing a crashed node loses a member — dirty;
+    - an edge deleted or inserted {e inside} a cluster can change its
+      induced subgraph's distances, and a strong certificate witnesses
+      an exact eccentric-pair distance — dirty;
+    - an edge inserted between two distinct clusters of equal color
+      (for carvings every color is [-1], so between {e any} two
+      clusters) breaks separation — both dirty;
+    - a {e weakly} certified cluster's witnesses run through arbitrary
+      host-graph nodes, so any delta at all dirties it (conservative,
+      and the price of weak certificates);
+    - strong certificates are confined to their cluster, so strongly
+      certified clusters are immune to changes elsewhere.
+
+    A configurable {e halo} adds a safety margin: with [halo = h >= 1],
+    every cluster within distance [h] (in the post-fault graph) of a
+    fault site is dirtied too, giving the re-carver room to rebuild
+    natural cluster shapes around the damage. [halo = 0] is the minimal
+    certified-invalidation set.
+
+    Re-carving is delegated to a caller-supplied [recarve] callback
+    (the workload layer plugs in the registered sequential engines), so
+    this module stays below the algorithm registry in the dependency
+    order. Merging recolors fresh clusters greedily (decompositions —
+    always possible, may grow the palette) or leaves frontier nodes
+    dead (carvings — nodes whose re-carved cluster would touch an
+    untouched cluster are excluded up front, preserving full
+    non-adjacency). *)
+
+type delta = {
+  crash : int list;  (** nodes that crash-stop (must be up) *)
+  revive : int list;  (** nodes that come back (must be down) *)
+  del_edges : (int * int) list;  (** edges removed (must exist) *)
+  add_edges : (int * int) list;  (** edges inserted (must not exist) *)
+}
+
+val delta :
+  ?crash:int list ->
+  ?revive:int list ->
+  ?del_edges:(int * int) list ->
+  ?add_edges:(int * int) list ->
+  unit ->
+  delta
+(** Smart constructor; everything defaults to empty. *)
+
+val is_empty : delta -> bool
+
+type state
+(** Base graph plus fault history: the down set, and the set of edges
+    deleted from / added to the base graph. A crashed node is isolated
+    in the current graph (all incident edges removed) but its logical
+    edges — base edges minus deletions plus insertions — reappear when
+    it revives. *)
+
+val init : Dsgraph.Graph.t -> state
+(** Fault-free initial state over a base graph. *)
+
+val graph : state -> Dsgraph.Graph.t
+(** The current post-fault graph (same node universe [0 .. n-1];
+    crashed nodes isolated). *)
+
+val base : state -> Dsgraph.Graph.t
+
+val down : state -> int list
+(** Sorted list of currently crashed nodes. *)
+
+val is_down : state -> int -> bool
+
+val survivors : state -> Dsgraph.Mask.t
+(** Fresh mask of the up nodes. *)
+
+val step : state -> delta -> state
+(** Applies a delta; [state] is unchanged (persistent-style). All
+    delta components refer to the pre-delta state: crash targets must
+    be up, revive targets down, deleted edges present between up
+    nodes, inserted edges absent with both endpoints up after the
+    delta's own crashes and revives are accounted.
+    @raise Invalid_argument on any inconsistency. *)
+
+type plan = {
+  dirty : int list;  (** invalidated cluster ids of the old clustering *)
+  region : int list;
+      (** sorted surviving nodes to re-carve: members of dirty
+          clusters, revived nodes, and unclustered survivors inside
+          the halo ball *)
+  seeds : int list;
+      (** fault sites the halo ball grows from: pre-graph neighbors of
+          crashed nodes, endpoints of changed edges, revived nodes *)
+}
+
+val plan :
+  ?halo:int ->
+  weak:(int -> bool) ->
+  color:(int -> int) ->
+  old:Clustering.t ->
+  state ->
+  delta ->
+  plan
+(** [plan ~halo ~weak ~color ~old st delta] computes the dirty region
+    of [old] (a clustering of the {e pre}-delta graph) under [delta],
+    where [st] is the {e post}-delta state ([step pre delta]),
+    [weak c] says whether cluster [c] is only weakly certified, and
+    [color c] is its color ([-1] for every cluster of a carving, which
+    makes any inserted inter-cluster edge dirty both sides).
+    [halo] defaults to [0]. *)
+
+type kind = Decomposition | Carving
+
+type merged = {
+  clustering : Clustering.t;  (** over {!graph}[ st] *)
+  colors : int array;
+      (** per new cluster id; all [-1] for carvings *)
+  old_to_new : int array;
+      (** old cluster id -> new id; [-1] for dirty (retired) clusters *)
+  fresh : int list;  (** new ids of re-carved clusters, sorted *)
+  touched_nodes : int;  (** size of the re-carve region *)
+}
+
+val merge :
+  kind:kind ->
+  old:Clustering.t ->
+  color_of:(int -> int) ->
+  plan:plan ->
+  state:state ->
+  recarve:(Dsgraph.Graph.t -> int array * int array) ->
+  merged
+(** Re-carves [plan.region] on the survivor subgraph and merges with
+    the untouched clusters of [old]. [recarve sub] must return a
+    cluster label per node of [sub] ([-1] = leave dead, only allowed
+    for carvings) and a color per label (ignored for carvings; for
+    decompositions the labels' colors are {e not} trusted — fresh
+    clusters are greedily recolored against their merged
+    neighborhood, which may grow the palette but never breaks
+    validity). Untouched clusters keep their exact member sets; for
+    carvings, region nodes adjacent to an untouched cluster are
+    withheld from [recarve] and left dead, so full non-adjacency is
+    preserved by construction.
+    @raise Invalid_argument if a decomposition [recarve] leaves a
+    region node unclustered or returns a negative color. *)

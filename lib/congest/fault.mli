@@ -33,6 +33,15 @@ type spec = {
   bursts : burst list;  (** adversarial burst schedules, checked first *)
   crashes : (int * int) list;
       (** [(node, round)]: node crash-stops at the {e start} of [round] *)
+  revives : (int * int) list;
+      (** [(node, round)]: a previously crashed node resumes at the
+          {e start} of [round] — a {e churn} adversary. Its program state
+          is whatever it held when it crashed (crash-recovery, not
+          reboot); messages sent to it while down are lost, and
+          neighbors that already declared it dead at the transport
+          layer ignore it. Per node, crash and revive rounds must
+          strictly interleave ([c1 < r1 < c2 < r2 < ...]); a final
+          crash without a matching revive is permanent. *)
 }
 
 val spec :
@@ -43,6 +52,7 @@ val spec :
   ?delay_window:int ->
   ?bursts:burst list ->
   ?crashes:(int * int) list ->
+  ?revives:(int * int) list ->
   unit ->
   spec
 (** Smart constructor; everything defaults to benign (no faults, seed 0). *)
@@ -53,7 +63,10 @@ type t
 
 val create : spec -> t
 (** @raise Invalid_argument on rates outside [0, 1], negative windows,
-    crash rounds < 1, or burst windows with [until_round < from_round]. *)
+    crash rounds < 1, burst windows with [until_round < from_round],
+    or a churn schedule whose crash/revive rounds do not strictly
+    interleave per node (a revive without a preceding crash, a revive
+    at or before its crash, or a re-crash before the pending revive). *)
 
 val spec_of : t -> spec
 
@@ -73,10 +86,17 @@ val fate : t -> round:int -> src:int -> dst:int -> fate
     [(src, dst)]; advances the RNG stream and the counters. *)
 
 val is_crashed : t -> round:int -> int -> bool
-(** Whether a node is crash-stopped at (the start of) [round]. *)
+(** Whether a node is crash-stopped at (the start of) [round]; with a
+    churn schedule this is interval membership, so a revived node
+    reports [false] again until its next crash. *)
 
 val crashed_nodes : t -> upto_round:int -> int list
-(** Sorted list of nodes whose crash round is [<= upto_round]. *)
+(** Sorted list of nodes whose {e first} crash round is
+    [<= upto_round], whether or not they were later revived. *)
+
+val down_nodes : t -> round:int -> int list
+(** Sorted list of nodes crash-stopped {e at} [round] — the churn-aware
+    complement of the survivor set at that instant. *)
 
 val count_drop : t -> unit
 (** Record a message lost for a non-[fate] reason (sent to an

@@ -6,17 +6,73 @@ type config = {
   rto : int;
   heartbeat_every : int;
   liveness_timeout : int;
+  backoff : float;
+  max_rto : int;
+  max_retries : int;
+  jitter : int;
+  jitter_seed : int;
 }
 
 let config ?(window = 2) ?(rto = 2) ?(heartbeat_every = 8)
-    ?(liveness_timeout = 64) ~inner_rounds () =
+    ?(liveness_timeout = 64) ?(backoff = 1.0) ?(max_rto = 0)
+    ?(max_retries = 0) ?(jitter = 0) ?(jitter_seed = 0) ~inner_rounds () =
   if inner_rounds < 1 then invalid_arg "Reliable.config: inner_rounds < 1";
   if window < 1 then invalid_arg "Reliable.config: window < 1";
   if rto < 1 then invalid_arg "Reliable.config: rto < 1";
   if heartbeat_every < 1 then invalid_arg "Reliable.config: heartbeat_every < 1";
   if liveness_timeout <= rto + heartbeat_every then
     invalid_arg "Reliable.config: liveness_timeout too tight";
-  { inner_rounds; window; rto; heartbeat_every; liveness_timeout }
+  if backoff < 1.0 then invalid_arg "Reliable.config: backoff < 1";
+  if max_rto < 0 then invalid_arg "Reliable.config: negative max_rto";
+  if max_rto > 0 && max_rto < rto then
+    invalid_arg "Reliable.config: max_rto < rto";
+  if max_retries < 0 then invalid_arg "Reliable.config: negative max_retries";
+  if jitter < 0 then invalid_arg "Reliable.config: negative jitter";
+  {
+    inner_rounds;
+    window;
+    rto;
+    heartbeat_every;
+    liveness_timeout;
+    backoff;
+    max_rto;
+    max_retries;
+    jitter;
+    jitter_seed;
+  }
+
+(* Deterministic integer mixer for retransmission jitter: a fixed
+   function of (seed, node, neighbor, seq, attempt), so replays are
+   byte-identical and independent of inbox arrival order. *)
+let mix seed a b c d =
+  let h = ref (seed lxor 0x2545F4914F6CDD1D) in
+  let step x =
+    h := !h lxor ((x * 0x9E3779B9) + (!h lsl 6) + (!h lsr 2));
+    h := !h land max_int
+  in
+  step a;
+  step b;
+  step c;
+  step d;
+  !h
+
+(* Current retransmission interval of a token: exponential backoff in
+   the attempt count, capped by [max_rto], plus deterministic jitter.
+   With the defaults (backoff 1, jitter 0) this is exactly [rto]. *)
+let rto_for cfg ~node ~nbr ~seq ~attempts =
+  let base =
+    if cfg.backoff <= 1.0 then cfg.rto
+    else
+      let f = float_of_int cfg.rto *. (cfg.backoff ** float_of_int attempts) in
+      if f >= 1e9 then 1_000_000_000 else int_of_float f
+  in
+  let base = if cfg.max_rto > 0 then min base cfg.max_rto else base in
+  let j =
+    if cfg.jitter > 0 then
+      mix cfg.jitter_seed node nbr seq attempts mod (cfg.jitter + 1)
+    else 0
+  in
+  max 1 (base + j)
 
 let header_bits ~inner_rounds = (2 * Bits.int_bits (max 1 inner_rounds)) + 2
 
@@ -27,8 +83,14 @@ let frame_bits ~bits ~inner_rounds f =
   + match f.token with Some (_, Some m) -> bits m | _ -> 0
 
 (* One queued token: produced at inner round [seq], last transmitted at
-   outer round [last_tx] (-1 = never sent). *)
-type 'msg pkt = { seq : int; payload : 'msg option; mutable last_tx : int }
+   outer round [last_tx] (-1 = never sent), retransmitted [attempts]
+   times so far (the initial transmission is not an attempt). *)
+type 'msg pkt = {
+  seq : int;
+  payload : 'msg option;
+  mutable last_tx : int;
+  mutable attempts : int;
+}
 
 type 'msg link = {
   mutable alive : bool;
@@ -123,13 +185,24 @@ let receive st u (f : 'msg frame) =
    ours unacknowledged, or we are blocked on its next token. *)
 let awaited st l = l.outq <> [] || ((not (finished st)) && l.recv_next <= st.k)
 
+(* Capped retry: with [max_retries > 0], a token retransmitted that many
+   times without an acknowledgement condemns its link even before the
+   silence timeout fires. *)
+let retries_exhausted st l =
+  st.cfg.max_retries > 0
+  &&
+  match l.outq with
+  | p :: _ -> p.attempts >= st.cfg.max_retries
+  | [] -> false
+
 let detect_dead st =
   Array.iter
     (fun u ->
       let l = link_of st u in
       if
         l.alive && awaited st l
-        && st.outer - l.last_heard > st.cfg.liveness_timeout
+        && (st.outer - l.last_heard > st.cfg.liveness_timeout
+           || retries_exhausted st l)
       then begin
         l.alive <- false;
         l.outq <- [];
@@ -184,15 +257,27 @@ let execute_inner (inner : ('st, 'msg) Sim.program) ~node st =
       let l = link_of st u in
       if l.alive then
         l.outq <-
-          l.outq @ [ { seq = r; payload = Hashtbl.find_opt sent u; last_tx = -1 } ])
+          l.outq
+          @ [
+              {
+                seq = r;
+                payload = Hashtbl.find_opt sent u;
+                last_tx = -1;
+                attempts = 0;
+              };
+            ])
     st.sorted_nbrs;
   st.k <- r
 
-let frame_for st l =
+let frame_for st ~node ~nbr l =
   let token =
     match l.outq with
-    | p :: _ when p.last_tx >= 0 && st.outer - p.last_tx >= st.cfg.rto ->
+    | p :: _
+      when p.last_tx >= 0
+           && st.outer - p.last_tx
+              >= rto_for st.cfg ~node ~nbr ~seq:p.seq ~attempts:p.attempts ->
         p.last_tx <- st.outer;
+        p.attempts <- p.attempts + 1;
         st.retransmissions <- st.retransmissions + 1;
         Some (p.seq, p.payload)
     | _ -> (
@@ -260,7 +345,7 @@ let wrap cfg (inner : ('st, 'msg) Sim.program) :
           let l = link_of st u in
           if not l.alive then acc
           else
-            match frame_for st l with
+            match frame_for st ~node ~nbr:u l with
             | Some f ->
                 l.last_sent <- st.outer;
                 l.ack_dirty <- false;
@@ -290,6 +375,27 @@ type 'st result = {
 }
 
 let simulate ?(sim = Sim.Config.default) cfg ~bits g inner =
+  (* Sim.Config transport knobs override the transport config, so
+     harnesses can thread detection timeouts and windows through the one
+     run-configuration record; None leaves cfg untouched. Re-validated
+     through the smart constructor. *)
+  let cfg =
+    match
+      ( sim.Sim.Config.transport_window,
+        sim.Sim.Config.transport_rto,
+        sim.Sim.Config.liveness_timeout )
+    with
+    | None, None, None -> cfg
+    | w, r, l ->
+        config ~inner_rounds:cfg.inner_rounds
+          ~window:(Option.value w ~default:cfg.window)
+          ~rto:(Option.value r ~default:cfg.rto)
+          ~heartbeat_every:cfg.heartbeat_every
+          ~liveness_timeout:(Option.value l ~default:cfg.liveness_timeout)
+          ~backoff:cfg.backoff ~max_rto:cfg.max_rto
+          ~max_retries:cfg.max_retries ~jitter:cfg.jitter
+          ~jitter_seed:cfg.jitter_seed ()
+  in
   let n = Graph.n g in
   let inner_bw =
     Option.value sim.Sim.Config.bandwidth ~default:(Bits.bandwidth ~n)

@@ -51,6 +51,23 @@ type config = {
       (** an unfinished node pings otherwise-silent links at this cadence *)
   liveness_timeout : int;
       (** declare an awaited link dead after this many silent rounds *)
+  backoff : float;
+      (** exponential backoff factor: the [k]-th retransmission of a
+          token waits [rto * backoff^k] rounds; [1.0] (the default)
+          keeps the classic fixed-interval behavior byte-identical *)
+  max_rto : int;  (** cap on the backed-off interval; [0] = uncapped *)
+  max_retries : int;
+      (** declare a link dead once its oldest token has been
+          retransmitted this many times unacknowledged, even before the
+          silence timeout; [0] (the default) = retry forever *)
+  jitter : int;
+      (** add a deterministic pseudo-random extra wait in
+          [0 .. jitter] rounds per retransmission, de-synchronizing
+          retry storms; [0] = none *)
+  jitter_seed : int;
+      (** seeds the jitter mixer; the jitter of a retransmission is a
+          pure function of (seed, node, neighbor, seq, attempt), so
+          replays stay deterministic *)
 }
 
 val config :
@@ -58,15 +75,24 @@ val config :
   ?rto:int ->
   ?heartbeat_every:int ->
   ?liveness_timeout:int ->
+  ?backoff:float ->
+  ?max_rto:int ->
+  ?max_retries:int ->
+  ?jitter:int ->
+  ?jitter_seed:int ->
   inner_rounds:int ->
   unit ->
   config
 (** Defaults: [window = 2], [rto = 2], [heartbeat_every = 8],
-    [liveness_timeout = 64].
+    [liveness_timeout = 64], [backoff = 1.0], [max_rto = 0] (uncapped),
+    [max_retries = 0] (unbounded), [jitter = 0], [jitter_seed = 0] —
+    the adaptive-backoff knobs all default {e off}, preserving
+    byte-identical traces for pre-existing runs.
     @raise Invalid_argument unless [inner_rounds >= 1], [window >= 1],
-    [rto >= 1], [heartbeat_every >= 1], and
+    [rto >= 1], [heartbeat_every >= 1],
     [liveness_timeout > rto + heartbeat_every] (anything tighter risks
-    declaring slow-but-live links dead). *)
+    declaring slow-but-live links dead), [backoff >= 1.0], and the
+    remaining knobs are non-negative with [max_rto >= rto] when set. *)
 
 val header_bits : inner_rounds:int -> int
 (** Per-frame overhead: sequence number + cumulative ack + flag bits. *)
@@ -125,4 +151,9 @@ val simulate :
     [sim.max_rounds] defaults to
     [6 * inner_rounds + 8 * liveness_timeout + 64], ample for drop rates
     well beyond the benchmarked 0.1. A [sim.trace] sink observes the
-    {e outer} (transport-level) rounds and frames. *)
+    {e outer} (transport-level) rounds and frames.
+
+    When [sim.transport_window], [sim.transport_rto], or
+    [sim.liveness_timeout] is set, it overrides the corresponding
+    [cfg] field (revalidated through {!val-config}), so run harnesses
+    configure the transport through the one {!Sim.Config.t} record. *)

@@ -44,6 +44,9 @@ module Config = struct
     adversary : Fault.t option;
     on_incomplete : [ `Ignore | `Warn | `Raise ];
     trace : Trace.sink option;
+    transport_window : int option;
+    transport_rto : int option;
+    liveness_timeout : int option;
   }
 
   let default =
@@ -53,6 +56,9 @@ module Config = struct
       adversary = None;
       on_incomplete = `Warn;
       trace = None;
+      transport_window = None;
+      transport_rto = None;
+      liveness_timeout = None;
     }
 
   let with_max_rounds max_rounds t = { t with max_rounds = Some max_rounds }
@@ -60,6 +66,15 @@ module Config = struct
   let with_adversary adversary t = { t with adversary = Some adversary }
   let with_on_incomplete on_incomplete t = { t with on_incomplete }
   let with_trace sink t = { t with trace = Some sink }
+
+  let with_transport_window transport_window t =
+    { t with transport_window = Some transport_window }
+
+  let with_transport_rto transport_rto t =
+    { t with transport_rto = Some transport_rto }
+
+  let with_liveness_timeout liveness_timeout t =
+    { t with liveness_timeout = Some liveness_timeout }
 end
 
 let log_src = Logs.Src.create "congest.sim" ~doc:"CONGEST simulator"
@@ -67,7 +82,17 @@ let log_src = Logs.Src.create "congest.sim" ~doc:"CONGEST simulator"
 module Log = (val Logs.src_log log_src)
 
 let simulate ?(config = Config.default) ~bits g program =
-  let { Config.max_rounds; bandwidth; adversary; on_incomplete; trace } =
+  let {
+    Config.max_rounds;
+    bandwidth;
+    adversary;
+    on_incomplete;
+    trace;
+    (* transport knobs are consumed by Reliable.simulate, not here *)
+    transport_window = _;
+    transport_rto = _;
+    liveness_timeout = _;
+  } =
     config
   in
   let n = Graph.n g in

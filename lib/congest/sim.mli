@@ -74,15 +74,29 @@ module Config : sig
     adversary : Fault.t option;
     on_incomplete : [ `Ignore | `Warn | `Raise ];
     trace : Trace.sink option;  (** event sink; [None] = tracing off *)
+    transport_window : int option;
+        (** overrides {!Reliable.config}'s send window when set; ignored
+            by raw (non-reliable) simulations *)
+    transport_rto : int option;
+        (** overrides {!Reliable.config}'s base retransmission timeout *)
+    liveness_timeout : int option;
+        (** overrides {!Reliable.config}'s crash-detection timeout: the
+            silence threshold (in outer rounds) after which an awaited
+            neighbor is declared dead *)
   }
 
   val default : t
-  (** No adversary, no trace, defaults for rounds/bandwidth, [`Warn]. *)
+  (** No adversary, no trace, defaults for rounds/bandwidth, [`Warn],
+      no transport overrides (so reliable runs keep their
+      byte-identical default behavior). *)
 
   val with_max_rounds : int -> t -> t
   val with_bandwidth : int -> t -> t
   val with_adversary : Fault.t -> t -> t
   val with_on_incomplete : [ `Ignore | `Warn | `Raise ] -> t -> t
+  val with_transport_window : int -> t -> t
+  val with_transport_rto : int -> t -> t
+  val with_liveness_timeout : int -> t -> t
 
   val with_trace : Trace.sink -> t -> t
   (** Setters take the configuration last for pipeline style:

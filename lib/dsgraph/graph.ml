@@ -107,6 +107,57 @@ let edge_index t (u, v) =
   ignore !found;
   t.edge_offset.(u) + !pos
 
+let apply_edits t ~del ~add =
+  let norm what (u, v) =
+    if u = v then invalid_arg (Printf.sprintf "Graph.apply_edits: self-loop in %s" what);
+    if u < 0 || u >= t.n || v < 0 || v >= t.n then
+      invalid_arg
+        (Printf.sprintf "Graph.apply_edits: %s endpoint out of range" what);
+    if u < v then (u, v) else (v, u)
+  in
+  let dels = Hashtbl.create (max 1 (List.length del)) in
+  List.iter
+    (fun e ->
+      let u, v = norm "del" e in
+      if not (is_edge t u v) then
+        invalid_arg
+          (Printf.sprintf "Graph.apply_edits: deleting non-edge (%d,%d)" u v);
+      Hashtbl.replace dels (u, v) ())
+    del;
+  let adds = Hashtbl.create (max 1 (List.length add)) in
+  List.iter
+    (fun e ->
+      let u, v = norm "add" e in
+      if Hashtbl.mem dels (u, v) then
+        invalid_arg
+          (Printf.sprintf "Graph.apply_edits: edge (%d,%d) both deleted and added"
+             u v);
+      if is_edge t u v then
+        invalid_arg
+          (Printf.sprintf "Graph.apply_edits: adding existing edge (%d,%d)" u v);
+      Hashtbl.replace adds (u, v) ())
+    add;
+  let sets = Array.make t.n [] in
+  for u = 0 to t.n - 1 do
+    Array.iter
+      (fun v ->
+        if u < v && not (Hashtbl.mem dels (u, v)) then begin
+          sets.(u) <- v :: sets.(u);
+          sets.(v) <- u :: sets.(v)
+        end)
+      t.adj.(u)
+  done;
+  Hashtbl.iter
+    (fun (u, v) () ->
+      sets.(u) <- v :: sets.(u);
+      sets.(v) <- u :: sets.(v))
+    adds;
+  let adj =
+    Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) sets
+  in
+  let edge_offset, m = build_offsets t.n adj in
+  { n = t.n; adj; m; edge_offset }
+
 let pp fmt t =
   Format.fprintf fmt "graph(n=%d, m=%d, maxdeg=%d)" t.n t.m (max_degree t)
 

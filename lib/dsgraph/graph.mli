@@ -47,6 +47,17 @@ val edge_index : t -> (int * int) -> int
     undirected edge, usable for per-edge accounting (e.g. congestion).
     @raise Not_found if [(u, v)] is not an edge. *)
 
+val apply_edits : t -> del:(int * int) list -> add:(int * int) list -> t
+(** [apply_edits t ~del ~add] is a new graph with the edges of [del]
+    removed and the edges of [add] inserted; [t] is unchanged. This is
+    the {e only} sanctioned way to derive a faulted graph from a base
+    graph — the conformance lint confines its callers to [lib/dsgraph]
+    and the repair engine ([lib/cluster/repair.ml]), so every fault
+    delta flows through one audited path.
+    @raise Invalid_argument on out-of-range endpoints, self-loops,
+    deleting a non-edge, adding an existing edge, or an edge listed in
+    both [del] and [add]. *)
+
 val nodes : t -> int list
 
 val pp : Format.formatter -> t -> unit

@@ -291,6 +291,26 @@ let verify g t =
     Ok ()
   with Reject msg -> Error msg
 
+(* The one source of truth for post-fault validity: certify the labels
+   restricted to the survivor subgraph as a carving (non-adjacency is
+   the color scan with every color -1) and re-verify the certificate
+   against that subgraph alone. Used by Workload.Faults and the chaos
+   harness — there is deliberately no second, hand-rolled checker. *)
+let check_survivors g ~survivors ~labels =
+  let sub, back = Subgraph.induce g survivors in
+  let nsub = Graph.n sub in
+  let sub_labels =
+    Array.init nsub (fun i ->
+        let l = labels.(back.(i)) in
+        if l < 0 then -1 else l)
+  in
+  let clustering = Cluster.Clustering.make sub ~cluster_of:sub_labels in
+  let carving =
+    Cluster.Carving.make clustering ~domain:(Mask.full nsub)
+  in
+  let t = certify_carving carving in
+  (verify sub t, t.dead_fraction)
+
 let max_diameter_lb t =
   List.fold_left
     (fun acc cert ->

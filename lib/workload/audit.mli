@@ -63,6 +63,12 @@ val certify_decomposition : Cluster.Decomposition.t -> t
 
 val certify_carving : Cluster.Carving.t -> t
 
+val cert_of_cluster : Cluster.Clustering.t -> color:int -> int -> cert
+(** Certificate of one cluster: strong witnesses when its induced
+    subgraph is connected, host-graph (weak) witnesses otherwise.
+    Exposed so the repair engine can re-certify {e only} the clusters
+    it touched and carry every other certificate over verbatim. *)
+
 val verify : Dsgraph.Graph.t -> t -> (unit, string) result
 (** Re-checks every claim against [g] alone: members partition the
     domain (disjoint, in range) and the dead count and fraction are
@@ -75,6 +81,19 @@ val verify : Dsgraph.Graph.t -> t -> (unit, string) result
     [diameter_ub = 2 * height]; every eccentric pair's distance is
     re-derived by reference BFS and must equal [diameter_lb], and
     [diameter_lb <= diameter_ub] where both exist. *)
+
+val check_survivors :
+  Dsgraph.Graph.t ->
+  survivors:int list ->
+  labels:int array ->
+  (unit, string) result * float
+(** Post-fault validity, routed through {!verify}: restrict [labels]
+    (a per-node cluster label, [< 0] = unclustered) to the subgraph
+    induced by [survivors], certify it as a carving, and re-verify the
+    certificate against that subgraph alone — so cluster
+    non-adjacency and domain confinement on the survivor subgraph
+    have exactly one checker. Also returns the dead fraction among
+    survivors. *)
 
 val max_diameter_lb : t -> int
 (** Largest witnessed lower bound over clusters ([-1] if any cluster

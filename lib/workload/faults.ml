@@ -53,21 +53,15 @@ let crash_schedule rng ~n ~crashes =
   in
   pick 0 []
 
-(* Validity of [labels] restricted to [survivors]: non-adjacency and
-   domain confinement via the Carving checker (epsilon deliberately not
-   enforced — the dead fraction is reported in the row instead). *)
+(* Validity of [labels] restricted to [survivors]: one source of truth —
+   the Audit certificate verifier on the survivor subgraph (epsilon
+   deliberately not enforced; the dead fraction is reported in the row
+   instead). *)
 let check_on_survivors g survivors labels =
-  let sub, back = Subgraph.induce g survivors in
-  let nsub = Graph.n sub in
-  let sub_labels =
-    Array.init nsub (fun i ->
-        let l = labels.(back.(i)) in
-        if l < 0 then -1 else l)
+  let verdict, dead_fraction =
+    Audit.check_survivors g ~survivors ~labels
   in
-  let clustering = Cluster.Clustering.make sub ~cluster_of:sub_labels in
-  let carving = Cluster.Carving.make clustering ~domain:(Mask.full nsub) in
-  let valid = Result.is_ok (Cluster.Carving.check_weak carving) in
-  (valid, Cluster.Carving.dead_fraction carving)
+  (Result.is_ok verdict, dead_fraction)
 
 let survivors_of n crashed =
   let dead = Hashtbl.create 8 in

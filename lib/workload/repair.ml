@@ -1,0 +1,254 @@
+open Dsgraph
+module CR = Cluster.Repair
+
+type session = {
+  state : CR.state;
+  clustering : Cluster.Clustering.t;
+  colors : int array;
+  base_domain : bool array;
+  audit : Audit.t;
+}
+
+let start_decomposition d =
+  let clustering = Cluster.Decomposition.clustering d in
+  let g = Cluster.Clustering.graph clustering in
+  let k = Cluster.Clustering.num_clusters clustering in
+  {
+    state = CR.init g;
+    clustering;
+    colors = Array.init k (Cluster.Decomposition.color_of_cluster d);
+    base_domain = Array.make (Graph.n g) true;
+    audit = Audit.certify_decomposition d;
+  }
+
+let start_carving cv =
+  let clustering = cv.Cluster.Carving.clustering in
+  let g = Cluster.Clustering.graph clustering in
+  let k = Cluster.Clustering.num_clusters clustering in
+  {
+    state = CR.init g;
+    clustering;
+    colors = Array.make k (-1);
+    base_domain = Array.init (Graph.n g) (Mask.mem cv.Cluster.Carving.domain);
+    audit = Audit.certify_carving cv;
+  }
+
+type cert = {
+  c_delta : CR.delta;
+  c_halo : int;
+  c_dirty : int list;
+  c_carried : (int * int) list;
+  c_fresh : int list;
+  c_audit : Audit.t;
+}
+
+type report = {
+  dirty_clusters : int;
+  touched_nodes : int;
+  touched_fraction : float;
+  fresh_clusters : int;
+  carried_clusters : int;
+  seconds : float;
+  cert : cert;
+}
+
+(* by-cluster-id array view of an audit's certificates *)
+let certs_by_id audit k =
+  let dummy = List.hd audit.Audit.certs in
+  let a = Array.make k dummy in
+  List.iter (fun c -> a.(c.Audit.cluster) <- c) audit.Audit.certs;
+  a
+
+let repair ?(halo = 0) ~recarve session d =
+  let t0 = Unix.gettimeofday () in
+  let st = CR.step session.state d in
+  let k_old = Cluster.Clustering.num_clusters session.clustering in
+  let weak =
+    if k_old = 0 then fun _ -> false
+    else begin
+      let certs = certs_by_id session.audit k_old in
+      fun c -> not certs.(c).Audit.strong
+    end
+  in
+  let pl =
+    CR.plan ~halo ~weak
+      ~color:(fun c -> session.colors.(c))
+      ~old:session.clustering st d
+  in
+  let kind =
+    match session.audit.Audit.kind with
+    | Audit.Decomposition -> CR.Decomposition
+    | Audit.Carving -> CR.Carving
+  in
+  let m =
+    CR.merge ~kind ~old:session.clustering
+      ~color_of:(fun c -> session.colors.(c))
+      ~plan:pl ~state:st ~recarve
+  in
+  let clustering = m.CR.clustering in
+  let colors = m.CR.colors in
+  let k_new = Cluster.Clustering.num_clusters clustering in
+  let carried = ref [] in
+  Array.iteri
+    (fun o nw -> if nw >= 0 then carried := (o, nw) :: !carried)
+    m.CR.old_to_new;
+  let carried = List.rev !carried in
+  let from_old = Array.make (max k_new 1) (-1) in
+  List.iter (fun (o, nw) -> from_old.(nw) <- o) carried;
+  (* untouched certificates are carried over verbatim (only the cluster
+     id is renumbered); touched clusters are the only ones re-certified *)
+  let old_certs =
+    if k_old = 0 then [||] else certs_by_id session.audit k_old
+  in
+  let certs =
+    List.init k_new (fun c ->
+        let o = from_old.(c) in
+        if o >= 0 then { (old_certs.(o)) with Audit.cluster = c }
+        else Audit.cert_of_cluster clustering ~color:colors.(c) c)
+  in
+  let g = CR.graph st in
+  let n = Graph.n g in
+  (* audit domain: the original domain's survivors, plus anything the
+     merge clustered (for decompositions this is exactly the survivor
+     set; for partial-domain carvings a halo never reaches outside) *)
+  let domain =
+    List.filter
+      (fun v ->
+        (session.base_domain.(v) && not (CR.is_down st v))
+        || Cluster.Clustering.cluster_of clustering v >= 0)
+      (List.init n Fun.id)
+  in
+  let dead = List.length domain - Cluster.Clustering.clustered_count clustering in
+  let num_colors =
+    match kind with
+    | CR.Carving -> 0
+    | CR.Decomposition -> 1 + Array.fold_left max (-1) colors
+  in
+  let audit =
+    {
+      Audit.kind = session.audit.Audit.kind;
+      n;
+      certs;
+      num_colors;
+      domain;
+      dead;
+      dead_fraction =
+        float_of_int dead /. float_of_int (max 1 (List.length domain));
+    }
+  in
+  let cert =
+    {
+      c_delta = d;
+      c_halo = halo;
+      c_dirty = pl.CR.dirty;
+      c_carried = carried;
+      c_fresh = m.CR.fresh;
+      c_audit = audit;
+    }
+  in
+  let survivor_count = Mask.count (CR.survivors st) in
+  let session' =
+    {
+      state = st;
+      clustering;
+      colors;
+      base_domain = session.base_domain;
+      audit;
+    }
+  in
+  ( session',
+    {
+      dirty_clusters = List.length pl.CR.dirty;
+      touched_nodes = m.CR.touched_nodes;
+      touched_fraction =
+        float_of_int m.CR.touched_nodes /. float_of_int (max 1 survivor_count);
+      fresh_clusters = List.length m.CR.fresh;
+      carried_clusters = List.length carried;
+      seconds = Unix.gettimeofday () -. t0;
+      cert;
+    } )
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let verify_cert ~prev ~post c =
+  try
+    let k_old = Cluster.Clustering.num_clusters prev.clustering in
+    let olds = c.c_dirty @ List.map fst c.c_carried in
+    if List.sort compare olds <> List.init k_old Fun.id then
+      bad "dirty + carried do not partition the %d previous clusters" k_old;
+    let k_new = List.length c.c_audit.Audit.certs in
+    let news = c.c_fresh @ List.map snd c.c_carried in
+    if List.sort compare news <> List.init k_new Fun.id then
+      bad "fresh + carried do not partition the %d repaired clusters" k_new;
+    let old_certs =
+      if k_old = 0 then [||] else certs_by_id prev.audit k_old
+    in
+    let new_certs =
+      if k_new = 0 then [||] else certs_by_id c.c_audit k_new
+    in
+    List.iter
+      (fun (o, nw) ->
+        if o < 0 || o >= k_old || nw < 0 || nw >= k_new then
+          bad "carried pair (%d,%d) out of range" o nw;
+        if { (old_certs.(o)) with Audit.cluster = nw } <> new_certs.(nw) then
+          bad "carried cluster %d -> %d: certificate not identical" o nw)
+      c.c_carried;
+    match Audit.verify post c.c_audit with
+    | Ok () -> Ok ()
+    | Error e -> Error (Printf.sprintf "merged audit rejected: %s" e)
+  with Bad s -> Error s
+
+(* ------------------------------------------------------------------ *)
+(* Re-carve adapters over the algorithm registry                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The re-carve region is rarely connected, and the registered engines
+   are written for (and measured on) connected inputs — run them per
+   component and renumber the labels densely. Singleton components skip
+   the engine entirely. *)
+let componentwise engine sub =
+  let n = Graph.n sub in
+  let labels = Array.make n (-1) in
+  let colors = ref [] in
+  let next = ref 0 in
+  List.iter
+    (fun comp ->
+      match comp with
+      | [ v ] ->
+          labels.(v) <- !next;
+          colors := 0 :: !colors;
+          incr next
+      | comp ->
+          let csub, back = Subgraph.induce sub comp in
+          let cl_labels, cl_colors = engine csub in
+          Array.iteri
+            (fun i l -> if l >= 0 then labels.(back.(i)) <- !next + l)
+            cl_labels;
+          Array.iter (fun col -> colors := col :: !colors) cl_colors;
+          next := !next + Array.length cl_colors)
+    (Components.components sub);
+  (labels, Array.of_list (List.rev !colors))
+
+let recarve_decomposer (a : Algorithms.decomposer) ~seed sub =
+  componentwise
+    (fun csub ->
+      let d = a.Algorithms.run ~cost:(Congest.Cost.create ()) ~seed csub in
+      let cl = Cluster.Decomposition.clustering d in
+      let k = Cluster.Clustering.num_clusters cl in
+      ( Array.init (Graph.n csub) (Cluster.Clustering.cluster_of cl),
+        Array.init k (Cluster.Decomposition.color_of_cluster d) ))
+    sub
+
+let recarve_carver (a : Algorithms.carver) ~seed ~epsilon sub =
+  componentwise
+    (fun csub ->
+      let cv =
+        a.Algorithms.run ~cost:(Congest.Cost.create ()) ~seed csub ~epsilon
+      in
+      let cl = cv.Cluster.Carving.clustering in
+      let k = Cluster.Clustering.num_clusters cl in
+      ( Array.init (Graph.n csub) (Cluster.Clustering.cluster_of cl),
+        Array.make k (-1) ))
+    sub

@@ -1,0 +1,12 @@
+(* Fixture: direct graph surgery outside the repair engine. Every
+   [Graph.apply_edits] call site below must trip the graph-edit rule —
+   faulted graphs are derived through Cluster.Repair's audited state,
+   never ad hoc. Never built; only parsed by the lint tests. *)
+
+let drop_edge g u v = Dsgraph.Graph.apply_edits g ~del:[ (u, v) ] ~add:[]
+
+(* even a first-class reference is a call site *)
+let rewire = Dsgraph.Graph.apply_edits ~del:[] ~add:[ (0, 1) ]
+
+let isolate g v edges =
+  Graph.apply_edits g ~del:(List.map (fun w -> (v, w)) edges) ~add:[]

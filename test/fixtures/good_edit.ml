@@ -1,0 +1,12 @@
+(* Clean counterpart to bad_edit.ml: fault deltas routed through the
+   repair engine's state, plus innocuous names that merely resemble the
+   banned path. Never built; only parsed by the lint tests. *)
+
+let crash st v = Cluster.Repair.step st (Cluster.Repair.delta ~crash:[ v ] ())
+
+let heal st vs = Cluster.Repair.step st (Cluster.Repair.delta ~revive:vs ())
+
+(* a local function called apply_edits is not Graph.apply_edits *)
+let apply_edits xs = List.map (fun (u, v) -> (v, u)) xs
+
+let shuffle edits = apply_edits edits

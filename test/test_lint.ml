@@ -95,6 +95,25 @@ let test_good_trace_fixture () =
   check int "trace consumers lint clean" 0
     (List.length (Lint_core.lint_file (fixture "good_trace.ml")))
 
+let test_bad_edit_fixture () =
+  let findings = Lint_core.lint_file (fixture "bad_edit.ml") in
+  check
+    Alcotest.(list string)
+    "only graph-edit trips" [ "graph-edit" ] (rules_of findings);
+  (* qualified, first-class, and unqualified-Graph call sites *)
+  check int "every edit site found" 3 (count "graph-edit" findings);
+  (* the default config allow-lists the engine and dsgraph themselves *)
+  let inside_repair =
+    { Lint_core.disabled = []; allow = [ ("graph-edit", "fixtures") ] }
+  in
+  check int "allow-listed under cluster/repair-style paths" 0
+    (List.length
+       (Lint_core.lint_file ~config:inside_repair (fixture "bad_edit.ml")))
+
+let test_good_edit_fixture () =
+  check int "repair-engine callers lint clean" 0
+    (List.length (Lint_core.lint_file (fixture "good_edit.ml")))
+
 let test_parse_error () =
   let path = Filename.temp_file "lint_garbage" ".ml" in
   let oc = open_out path in
@@ -145,6 +164,10 @@ let () =
             `Quick test_bad_trace_fixture;
           Alcotest.test_case "trace consumers allowed anywhere" `Quick
             test_good_trace_fixture;
+          Alcotest.test_case "graph edits outside the engine flagged" `Quick
+            test_bad_edit_fixture;
+          Alcotest.test_case "repair-engine callers allowed" `Quick
+            test_good_edit_fixture;
           Alcotest.test_case "allow and disable lists" `Quick
             test_allow_and_disable;
           Alcotest.test_case "parse error degrades to finding" `Quick

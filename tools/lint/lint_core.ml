@@ -22,13 +22,22 @@ let rules =
     ( "trace-emit",
       "writing trace events outside lib/congest bypasses the sink's \
        event-order contract" );
+    ( "graph-edit",
+      "Graph.apply_edits outside the repair engine: fault deltas must \
+       flow through Cluster.Repair's audited state" );
     ("parse-error", "file does not parse");
   ]
 
 let default_config =
   {
     disabled = [];
-    allow = [ ("random", "dsgraph/rng"); ("trace-emit", "lib/congest") ];
+    allow =
+      [
+        ("random", "dsgraph/rng");
+        ("trace-emit", "lib/congest");
+        ("graph-edit", "cluster/repair");
+        ("graph-edit", "dsgraph");
+      ];
   }
 
 (* Trace writers: the record/emit side of the sink API. Consumers
@@ -100,6 +109,10 @@ let lint_structure ~config ~file structure =
         add loc "trace-emit"
           (String.concat "." path
           ^ ": only lib/congest may write trace events")
+    | "apply_edits" :: "Graph" :: _ ->
+        add loc "graph-edit"
+          (String.concat "." path
+          ^ ": derive faulted graphs through Cluster.Repair")
     | _ -> ()
   in
   (* depth of enclosing { init; round; ... } program literals *)
