@@ -31,6 +31,7 @@ let mode =
   | _ :: "causal" :: _ -> `Causal
   | _ :: "chaos" :: _ -> `Chaos
   | _ :: "record" :: _ -> `Record
+  | _ :: "scale" :: _ -> `Scale
   | _ -> `Standard
 
 (* `chaos quick` shrinks the sweep to CI-smoke size *)
@@ -1407,6 +1408,111 @@ let run_record_only () =
     (Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
+(* B.SCALE: million-node CSR substrate end-to-end                       *)
+(* ------------------------------------------------------------------ *)
+
+(* n = 2^20 nodes, 2*10^7 edge samples: the scale SNIPPETS.md's LDD
+   benchmarks run at, and ~3 orders of magnitude past the grid suite *)
+let scale_n = 1 lsl 20
+let scale_samples = 20_000_000
+
+let run_scale_only () =
+  let t0 = Unix.gettimeofday () in
+  section
+    (Printf.sprintf
+       "B.SCALE -- RMAT n=%d, %d edge samples: generate -> save -> \
+        mmap-load -> decompose -> audit"
+       scale_n scale_samples);
+  let dir = "bench_results" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let csr_path = Filename.concat dir "rmat1M.csr" in
+  let spill_path = Filename.concat dir "rmat1M.trace" in
+  let timed name f =
+    let s0 = Unix.gettimeofday () in
+    let x = f () in
+    let dt = Unix.gettimeofday () -. s0 in
+    Format.fprintf fmt "%-12s %8.2f s@." name dt;
+    (x, dt)
+  in
+  let rng = Rng.create seed in
+  let g, gen_s =
+    timed "generate" (fun () -> Gen.rmat rng ~n:scale_n ~m:scale_samples)
+  in
+  Format.fprintf fmt "  n=%d m=%d maxdeg=%d@." (Graph.n g) (Graph.m g)
+    (Graph.max_degree g);
+  let (), save_s = timed "save_csr" (fun () -> Io.save_csr csr_path g) in
+  (* drop the built graph: everything downstream runs off the mapping *)
+  let g, load_s = timed "mmap_load" (fun () -> Io.load_csr csr_path) in
+  (* a deliberately small in-memory buffer, so the run exercises the
+     streaming spill path rather than fitting in RAM by accident *)
+  let sink = Congest.Trace.sink ~capacity:4_096 ~spill:spill_path () in
+  let cost = Congest.Cost.create ~trace:sink () in
+  let algo = Algorithms.find_decomposer "greedy" in
+  let dec, dec_s =
+    timed "decompose" (fun () -> algo.Algorithms.run ~cost ~seed g)
+  in
+  let colors = Cluster.Decomposition.num_colors dec in
+  let clusters =
+    Cluster.Clustering.num_clusters (Cluster.Decomposition.clustering dec)
+  in
+  let phases = List.length (Congest.Span.rollups sink) in
+  Format.fprintf fmt
+    "  colors=%d clusters=%d rounds=%d messages=%d spilled_events=%d@."
+    colors clusters (Congest.Cost.rounds cost) (Congest.Cost.messages cost)
+    (Congest.Trace.spilled sink);
+  let audit, cert_s = timed "certify" (fun () -> Audit.certify_decomposition dec) in
+  let verdict, verify_s = timed "verify" (fun () -> Audit.verify g audit) in
+  (match verdict with
+  | Ok () -> Format.fprintf fmt "@.audit: PASS@."
+  | Error e -> Format.fprintf fmt "@.audit: FAIL (%s)@." e);
+  (* the scale row rides the same snapshot machinery as 'record' *)
+  let entry =
+    ( "scale/rmat1M",
+      Congest.Cost.rounds cost,
+      Congest.Cost.messages cost,
+      Congest.Cost.max_message_bits cost,
+      phases,
+      dec_s )
+  in
+  let line = record_json [ entry ] in
+  let prev = read_snapshot_lines trajectory_path in
+  write_trajectory trajectory_path (prev @ [ line ]);
+  Format.fprintf fmt "appended scale snapshot %d to %s@."
+    (List.length prev + 1)
+    trajectory_path;
+  (match List.rev prev with
+  | last :: _ -> ignore (compare_snapshots ~old_line:last ~new_line:line)
+  | [] -> ());
+  let oc = open_out (Filename.concat dir "scale.csv") in
+  output_string oc "metric,value\n";
+  List.iter
+    (fun (k, v) -> output_string oc (Printf.sprintf "%s,%s\n" k v))
+    [
+      ("n", string_of_int (Graph.n g));
+      ("m", string_of_int (Graph.m g));
+      ("colors", string_of_int colors);
+      ("clusters", string_of_int clusters);
+      ("rounds", string_of_int (Congest.Cost.rounds cost));
+      ("messages", string_of_int (Congest.Cost.messages cost));
+      ("spilled_events", string_of_int (Congest.Trace.spilled sink));
+      ("audit", match verdict with Ok () -> "pass" | Error _ -> "fail");
+      ("generate_seconds", Printf.sprintf "%.3f" gen_s);
+      ("save_seconds", Printf.sprintf "%.3f" save_s);
+      ("mmap_load_seconds", Printf.sprintf "%.3f" load_s);
+      ("decompose_seconds", Printf.sprintf "%.3f" dec_s);
+      ("certify_seconds", Printf.sprintf "%.3f" cert_s);
+      ("verify_seconds", Printf.sprintf "%.3f" verify_s);
+    ];
+  close_out oc;
+  Format.fprintf fmt "CSV dump written to %s/scale.csv@." dir;
+  (* the spill and the 170 MB graph image are scratch, not artifacts *)
+  Congest.Trace.clear sink;
+  if Sys.file_exists csr_path then Sys.remove csr_path;
+  Format.fprintf fmt "@.total benchmark time: %.1f s@."
+    (Unix.gettimeofday () -. t0);
+  if verdict <> Ok () then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let run_faults_only () =
   let t0 = Unix.gettimeofday () in
@@ -1431,7 +1537,8 @@ let () =
      verifier-overhead experiment@.only, 'causal' for the critical-path \
      analyzer replay cost, 'chaos' for the@.self-healing sweep and the \
      repair-cost headline ('chaos quick' for a smoke),@.'record' to append \
-     a headline snapshot to the persistent BENCH_trajectory.json)@."
+     a headline snapshot to the persistent BENCH_trajectory.json,@.'scale' \
+     for the million-node CSR end-to-end smoke)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
@@ -1441,13 +1548,15 @@ let () =
     | `Conform -> "conform"
     | `Causal -> "causal"
     | `Chaos -> if chaos_quick then "chaos (quick)" else "chaos"
-    | `Record -> "record");
+    | `Record -> "record"
+    | `Scale -> "scale");
   if mode = `Faults then run_faults_only ()
   else if mode = `Trace then run_trace_only ()
   else if mode = `Conform then run_conform_only ()
   else if mode = `Causal then run_causal_only ()
   else if mode = `Chaos then run_chaos_only ()
   else if mode = `Record then run_record_only ()
+  else if mode = `Scale then run_scale_only ()
   else begin
   let t0 = Unix.gettimeofday () in
   let rows1 = table1 () in

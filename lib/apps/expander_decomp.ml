@@ -82,7 +82,9 @@ let min_internal_sweep_conductance g t =
                 (fun (u, v) -> (Hashtbl.find index u, Hashtbl.find index v))
                 !sub_edges
             in
-            let h = Graph.create ~n:(List.length members) ~edges in
+            let h =
+              Graph.of_edge_seq ~n:(List.length members) (List.to_seq edges)
+            in
             let phi =
               Metrics.sweep_conductance h ~source:(Hashtbl.find index root)
             in

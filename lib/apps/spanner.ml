@@ -57,7 +57,7 @@ let of_decomposition ?cost g decomp =
   { edges; stretch_bound = (4 * !max_diam) + 2 }
 
 let spanner_graph g t =
-  Graph.create ~n:(Graph.n g) ~edges:t.edges
+  Graph.of_edge_seq ~n:(Graph.n g) (List.to_seq t.edges)
 
 let check g t =
   let ( let* ) r f = Result.bind r f in

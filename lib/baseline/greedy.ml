@@ -19,12 +19,30 @@ let carve ?cost ?beta ?domain g ~epsilon =
   let remaining = Mask.copy domain in
   let cluster_of = Array.make n (-1) in
   let next_cluster = ref 0 in
+  (* Reusable BFS scratch: only the cells listed in [queue] are ever
+     non-(-1), and each iteration resets exactly those — so carving a
+     region costs its volume, not O(n), and 10^5 singleton components
+     cost 10^5 steps rather than 10^11. *)
+  let dist = Array.make (max 1 n) (-1) in
+  let queue = Array.make (max 1 n) 0 in
+  (* The smallest remaining id is monotone (nodes are only ever removed
+     from [remaining]), so a cursor replaces the per-cluster
+     Mask.to_list scan that made center selection O(n). *)
+  let cursor = ref 0 in
   while Mask.count remaining > 0 do
-    let center = List.hd (Mask.to_list remaining) in
-    let dist = Bfs.distances ~mask:remaining g ~source:center in
-    let maxd = Array.fold_left max 0 dist in
+    while not (Mask.mem remaining !cursor) do
+      incr cursor
+    done;
+    let center = !cursor in
+    let count =
+      Bfs.distances_into ~mask:remaining g ~source:center ~dist ~queue
+    in
+    let maxd = dist.(queue.(count - 1)) in
     let cum = Array.make (maxd + 1) 0 in
-    Array.iter (fun d -> if d >= 0 then cum.(d) <- cum.(d) + 1) dist;
+    for i = 0 to count - 1 do
+      let d = dist.(queue.(i)) in
+      cum.(d) <- cum.(d) + 1
+    done;
     for k = 1 to maxd do
       cum.(k) <- cum.(k) + cum.(k - 1)
     done;
@@ -42,12 +60,15 @@ let carve ?cost ?beta ?domain g ~epsilon =
           ~max_bits:(2 * Congest.Bits.id_bits ~n) "greedy.grow");
     let id = !next_cluster in
     incr next_cluster;
-    for v = 0 to n - 1 do
-      if dist.(v) >= 0 && dist.(v) <= r then begin
+    for i = 0 to count - 1 do
+      let v = queue.(i) in
+      let d = dist.(v) in
+      if d <= r then begin
         cluster_of.(v) <- id;
         Mask.remove remaining v
       end
-      else if dist.(v) = r + 1 then Mask.remove remaining v
+      else if d = r + 1 then Mask.remove remaining v;
+      dist.(v) <- -1
     done
   done;
   let clustering = Cluster.Clustering.make g ~cluster_of in

@@ -130,9 +130,43 @@ let double_sweep ?mask t c =
       | Some (far, d1) -> (
           match sweep far with None -> -1 | Some (_, d2) -> max d1 d2))
 
+(* Strong (member-confined) searches run on the induced member set via
+   Bfs.restricted_bfs: O(cluster volume) instead of O(n) per cluster, so
+   whole-decomposition sweeps stay linear even with 10^5 singleton
+   clusters. Visit order matches the masked BFS they replace, so results
+   are identical. *)
+
+let member_set members =
+  let set = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace set v ()) members;
+  set
+
+let restricted_sweep g set members source =
+  let bfs = Bfs.restricted_bfs g ~members:set ~source in
+  List.fold_left
+    (fun acc v ->
+      match acc with
+      | None -> None
+      | Some (best_v, best_d) -> (
+          match Hashtbl.find_opt bfs v with
+          | None -> None
+          | Some (d, _) ->
+              if d > best_d then Some (v, d) else Some (best_v, best_d)))
+    (Some (source, 0))
+    members
+
 let strong_diameter_estimate t c =
-  let mask = Mask.of_list (Graph.n t.graph) t.member_lists.(c) in
-  double_sweep ~mask t c
+  match t.member_lists.(c) with
+  | [] | [ _ ] -> 0
+  | [ u; v ] -> if Graph.is_edge t.graph u v then 1 else -1
+  | first :: _ as members -> (
+      let set = member_set members in
+      match restricted_sweep t.graph set members first with
+      | None -> -1
+      | Some (far, d1) -> (
+          match restricted_sweep t.graph set members far with
+          | None -> -1
+          | Some (_, d2) -> max d1 d2))
 
 let weak_diameter_estimate t c = double_sweep t c
 
@@ -185,8 +219,24 @@ let witness_tree_gen ?mask ~prune t c =
         Some (root, pairs, height)
 
 let witness_tree t c =
-  let mask = Mask.of_list (Graph.n t.graph) t.member_lists.(c) in
-  witness_tree_gen ~mask ~prune:false t c
+  match t.member_lists.(c) with
+  | [] -> None
+  | [ v ] -> Some (v, [], 0)
+  | root :: _ as members ->
+      let set = member_set members in
+      let bfs = Bfs.restricted_bfs t.graph ~members:set ~source:root in
+      if List.exists (fun v -> not (Hashtbl.mem bfs v)) members then None
+      else
+        let height =
+          List.fold_left (fun h v -> max h (fst (Hashtbl.find bfs v))) 0 members
+        in
+        let pairs =
+          List.filter_map
+            (fun v ->
+              if v = root then None else Some (v, snd (Hashtbl.find bfs v)))
+            members
+        in
+        Some (root, pairs, height)
 
 let weak_witness_tree ?within t c =
   witness_tree_gen ?mask:within ~prune:true t c
@@ -214,8 +264,28 @@ let eccentric_pair_gen ?mask t c =
           | Some (v, d) -> (u, v, d)))
 
 let eccentric_pair t c =
-  let mask = Mask.of_list (Graph.n t.graph) t.member_lists.(c) in
-  eccentric_pair_gen ~mask t c
+  match t.member_lists.(c) with
+  | [] -> (-1, -1, -1)
+  | [ v ] -> (v, v, 0)
+  | first :: _ as members -> (
+      let set = member_set members in
+      let sweep source =
+        let bfs = Bfs.restricted_bfs t.graph ~members:set ~source in
+        if List.exists (fun v -> not (Hashtbl.mem bfs v)) members then None
+        else
+          Some
+            (List.fold_left
+               (fun (bv, bd) v ->
+                 let d = fst (Hashtbl.find bfs v) in
+                 if d > bd then (v, d) else (bv, bd))
+               (source, 0) members)
+      in
+      match sweep first with
+      | None -> (-1, -1, -1)
+      | Some (u, _) -> (
+          match sweep u with
+          | None -> (-1, -1, -1)
+          | Some (v, d) -> (u, v, d)))
 
 let weak_eccentric_pair ?within t c = eccentric_pair_gen ?mask:within t c
 

@@ -46,10 +46,27 @@ type event =
 
 let stride = 6
 
+(* Optional disk spill: when a sink is created with [~spill:path], a full
+   buffer is flushed to the file as packed native-endian 64-bit words
+   (stride per event, same layout as memory) instead of dropping events.
+   Readers replay the spilled prefix and then the in-memory tail, so
+   [iter]/[length]/[events] see the complete stream and [truncated]
+   stays 0 — observability past the old capacity ceiling. Writer and
+   reader channels are opened lazily; the reader seeks, so random-access
+   [decode] works on disk too. *)
+type spill = {
+  sp_path : string;
+  mutable sp_out : out_channel option;
+  mutable sp_in : in_channel option;
+  mutable sp_stored : int;  (* events already flushed to disk *)
+  sp_scratch : Bytes.t;  (* chunk buffer for flush/replay *)
+}
+
 type sink = {
   mutable buf : int array;
   mutable off : int;  (* next write offset = stride * events stored *)
   limit : int;  (* stride * maximum events *)
+  spill : spill option;
   mutable dropped : int;
   mutable tags : string array;
   mutable ntags : int;
@@ -81,12 +98,23 @@ let k_cost_charged = 10
 let k_span_enter = 11
 let k_span_exit = 12
 
-let sink ?(capacity = 1_000_000) ?(spans = true) () =
+let sink ?(capacity = 1_000_000) ?(spans = true) ?spill () =
   if capacity < 1 then invalid_arg "Trace.sink: capacity must be positive";
   {
     buf = Array.make (stride * min capacity 256) 0;
     off = 0;
     limit = stride * capacity;
+    spill =
+      Option.map
+        (fun path ->
+          {
+            sp_path = path;
+            sp_out = None;
+            sp_in = None;
+            sp_stored = 0;
+            sp_scratch = Bytes.create (8 * stride * 1024);
+          })
+        spill;
     dropped = 0;
     tags = [||];
     ntags = 0;
@@ -105,11 +133,45 @@ let grow s off =
   Array.blit s.buf 0 grown 0 off;
   s.buf <- grown
 
+let spill_writer sp =
+  match sp.sp_out with
+  | Some oc -> oc
+  | None ->
+      let oc = open_out_bin sp.sp_path in
+      sp.sp_out <- Some oc;
+      oc
+
+(* append the whole in-memory buffer to the spill file and reset it *)
+let spill_flush s sp =
+  let oc = spill_writer sp in
+  let scratch = sp.sp_scratch in
+  let cap = Bytes.length scratch / 8 in
+  let i = ref 0 in
+  while !i < s.off do
+    let batch = min cap (s.off - !i) in
+    for j = 0 to batch - 1 do
+      Bytes.set_int64_ne scratch (8 * j) (Int64.of_int s.buf.(!i + j))
+    done;
+    output_bytes oc
+      (if batch = cap then scratch else Bytes.sub scratch 0 (8 * batch));
+    i := !i + batch
+  done;
+  sp.sp_stored <- sp.sp_stored + (s.off / stride);
+  s.off <- 0
+
+let[@inline never] slot_full s =
+  match s.spill with
+  | Some sp ->
+      spill_flush s sp;
+      s.off <- stride;
+      0
+  | None ->
+      s.dropped <- s.dropped + 1;
+      -1
+
 let[@inline] slot s =
   let off = s.off in
-  if off >= s.limit then (
-    s.dropped <- s.dropped + 1;
-    -1)
+  if off >= s.limit then slot_full s
   else begin
     if off = Array.length s.buf then grow s off;
     s.off <- off + stride;
@@ -270,15 +332,7 @@ let record s ev =
     | Span_exit { path } -> set k_span_exit (tag_id s path) 0 0 0 0
   end
 
-let decode s i =
-  let off = stride * i in
-  let buf = s.buf in
-  let a = buf.(off + 1)
-  and b = buf.(off + 2)
-  and c = buf.(off + 3)
-  and d = buf.(off + 4)
-  and e = buf.(off + 5) in
-  let k = buf.(off) in
+let materialize s k a b c d e =
   if k = k_round_start then Round_start { round = a }
   else if k = k_round_end then
     Round_end { round = a; sent = b; delivered = c; in_flight = d; halted = e }
@@ -306,13 +360,73 @@ let decode s i =
   else if k = k_span_exit then Span_exit { path = s.tags.(a) }
   else Cost_charged { tag = s.tags.(a); rounds = b; messages = c; max_bits = d }
 
-let length s = s.off / stride
+let spill_reader sp =
+  (match sp.sp_out with Some oc -> flush oc | None -> ());
+  match sp.sp_in with
+  | Some ic -> ic
+  | None ->
+      let ic = open_in_bin sp.sp_path in
+      sp.sp_in <- Some ic;
+      ic
+
+let spilled s = match s.spill with Some sp -> sp.sp_stored | None -> 0
+
+let decode s i =
+  let disk = spilled s in
+  if i < disk then begin
+    let sp = Option.get s.spill in
+    let ic = spill_reader sp in
+    seek_in ic (8 * stride * i);
+    let b = Bytes.create (8 * stride) in
+    really_input ic b 0 (8 * stride);
+    let w j = Int64.to_int (Bytes.get_int64_ne b (8 * j)) in
+    materialize s (w 0) (w 1) (w 2) (w 3) (w 4) (w 5)
+  end
+  else begin
+    let off = stride * (i - disk) in
+    let buf = s.buf in
+    materialize s buf.(off)
+      buf.(off + 1)
+      buf.(off + 2)
+      buf.(off + 3)
+      buf.(off + 4)
+      buf.(off + 5)
+  end
+
+let length s = spilled s + (s.off / stride)
 let truncated s = s.dropped
 let events s = List.init (length s) (decode s)
 
 let iter f s =
-  for i = 0 to length s - 1 do
-    f (decode s i)
+  (match s.spill with
+  | Some sp when sp.sp_stored > 0 ->
+      (* sequential chunked replay of the spilled prefix *)
+      let ic = spill_reader sp in
+      seek_in ic 0;
+      let scratch = sp.sp_scratch in
+      let cap = Bytes.length scratch / (8 * stride) in
+      let remaining = ref sp.sp_stored in
+      while !remaining > 0 do
+        let batch = min cap !remaining in
+        really_input ic scratch 0 (8 * stride * batch);
+        for ev = 0 to batch - 1 do
+          let base = 8 * stride * ev in
+          let w j = Int64.to_int (Bytes.get_int64_ne scratch (base + (8 * j))) in
+          f (materialize s (w 0) (w 1) (w 2) (w 3) (w 4) (w 5))
+        done;
+        remaining := !remaining - batch
+      done
+  | _ -> ());
+  for i = 0 to (s.off / stride) - 1 do
+    let off = stride * i in
+    let buf = s.buf in
+    f
+      (materialize s buf.(off)
+         buf.(off + 1)
+         buf.(off + 2)
+         buf.(off + 3)
+         buf.(off + 4)
+         buf.(off + 5))
   done
 
 let clear s =
@@ -322,7 +436,23 @@ let clear s =
   Hashtbl.reset s.tag_index;
   s.span_depth <- 0;
   Hashtbl.reset s.span_self;
-  Hashtbl.reset s.span_incl
+  Hashtbl.reset s.span_incl;
+  match s.spill with
+  | None -> ()
+  | Some sp ->
+      (match sp.sp_in with
+      | Some ic ->
+          close_in_noerr ic;
+          sp.sp_in <- None
+      | None -> ());
+      (match sp.sp_out with
+      | Some oc ->
+          close_out_noerr oc;
+          sp.sp_out <- None
+      | None -> ());
+      if sp.sp_stored > 0 && Sys.file_exists sp.sp_path then
+        Sys.remove sp.sp_path;
+      sp.sp_stored <- 0
 
 let reason_label = function
   | Adversary -> "adversary"

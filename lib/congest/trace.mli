@@ -65,13 +65,23 @@ type event =
 
 type sink
 
-val sink : ?capacity:int -> ?spans:bool -> unit -> sink
-(** Fresh empty sink. At most [capacity] events are retained (default
-    1_000_000); later events are counted in {!truncated} but not stored,
-    bounding memory on very long runs. [spans] (default [true]) controls
-    whether {!enter_span}/{!exit_span} record anything — [~spans:false]
-    gives a tracing-only sink with the span machinery compiled to
-    no-ops, the baseline the overhead budget is measured against. *)
+val sink : ?capacity:int -> ?spans:bool -> ?spill:string -> unit -> sink
+(** Fresh empty sink. At most [capacity] events are held in memory
+    (default 1_000_000). Without [spill], later events are counted in
+    {!truncated} but not stored, bounding memory on very long runs.
+    With [~spill:path], a full buffer is instead appended to [path] as
+    packed native-endian words (the in-memory layout verbatim) and
+    recording continues — {!truncated} stays 0 and {!iter}/{!length}/
+    {!events} replay the spilled prefix followed by the in-memory tail,
+    so Span/Causal/Audit replay keep working past the old memory
+    ceiling. The file is created lazily on first flush and deleted by
+    {!clear}. [spans] (default [true]) controls whether
+    {!enter_span}/{!exit_span} record anything — [~spans:false] gives a
+    tracing-only sink with the span machinery compiled to no-ops, the
+    baseline the overhead budget is measured against. *)
+
+val spilled : sink -> int
+(** Number of events flushed to the spill file ([0] without [~spill]). *)
 
 val record : sink -> event -> unit
 

@@ -100,6 +100,49 @@ let weak_diameter_of_set ?mask g set =
         set;
       if !disconnected then -1 else !diam
 
+(* Scale variants: the allocation-per-call BFS above is fine for one-off
+   queries, but per-cluster loops at n = 10^6 need reusable buffers and
+   member-restricted traversals whose cost is the cluster's volume, not
+   the whole graph. *)
+
+let distances_into ?mask g ~source ~dist ~queue =
+  if not (alive mask source) then 0
+  else begin
+    dist.(source) <- 0;
+    queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let du = dist.(u) in
+      Graph.iter_neighbors g u (fun v ->
+          if alive mask v && dist.(v) = -1 then begin
+            dist.(v) <- du + 1;
+            queue.(!tail) <- v;
+            incr tail
+          end)
+    done;
+    !tail
+  end
+
+let restricted_bfs g ~members ~source =
+  let out = Hashtbl.create (max 16 (Hashtbl.length members)) in
+  if Hashtbl.mem members source then begin
+    Hashtbl.add out source (0, source);
+    let q = Queue.create () in
+    Queue.add source q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let du, _ = Hashtbl.find out u in
+      Graph.iter_neighbors g u (fun v ->
+          if Hashtbl.mem members v && not (Hashtbl.mem out v) then begin
+            Hashtbl.add out v (du + 1, u);
+            Queue.add v q
+          end)
+    done
+  end;
+  out
+
 let component_of ?mask g v =
   if not (alive mask v) then []
   else

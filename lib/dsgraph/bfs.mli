@@ -36,3 +36,23 @@ val weak_diameter_of_set : ?mask:Mask.t -> Graph.t -> int list -> int
 
 val component_of : ?mask:Mask.t -> Graph.t -> int -> int list
 (** The connected component of a node in [G\[mask\]], sorted. *)
+
+val distances_into :
+  ?mask:Mask.t -> Graph.t -> source:int -> dist:int array -> queue:int array -> int
+(** Allocation-free BFS into caller-owned scratch, for per-cluster loops
+    at scale. [dist] (length [>= n], every reachable cell [-1] on entry)
+    receives hop counts; [queue] (length [>= n]) receives the visited
+    nodes in BFS order — it doubles as the touched-list, so the caller
+    restores the [-1] invariant by resetting exactly
+    [dist.(queue.(0 .. k-1))], where [k] is the returned visit count
+    ([0] when the source is outside the mask). Distances along [queue]
+    are non-decreasing; results equal {!distances} on the same mask. *)
+
+val restricted_bfs :
+  Graph.t -> members:(int, unit) Hashtbl.t -> source:int ->
+  (int, int * int) Hashtbl.t
+(** BFS over the subgraph induced by [members], in [O(volume of members)]
+    time and space — independent of [Graph.n]. Maps each reached member
+    to [(distance, bfs parent)]; the source maps to [(0, source)];
+    unreached members are absent. Visit order (and hence parents) match
+    {!distances}/{!parents} under the equivalent {!Mask}. *)

@@ -81,3 +81,34 @@ val disjoint_union : Graph.t -> Graph.t -> Graph.t
 
 val ensure_connected : Rng.t -> Graph.t -> Graph.t
 (** Adds one random edge between consecutive components until connected. *)
+
+(** {1 Large-scale families}
+
+    Streaming generators for the million-node regime: each emits edges
+    straight into a {!Graph.Builder} (one packed int per edge, no edge
+    list), so peak memory is [O(m)] flat words. All are deterministic in
+    the given {!Rng.t}: the same seed produces a byte-identical CSR. *)
+
+val rmat : ?a:float -> ?b:float -> ?c:float -> Rng.t -> n:int -> m:int -> Graph.t
+(** [rmat rng ~n ~m]: recursive-matrix graph (Chakrabarti–Zhan–Faloutsos)
+    on [n] nodes ([n] a power of two) from [m] quadrant-walk samples with
+    probabilities [a], [b], [c], [1-a-b-c] (defaults 0.57/0.19/0.19/0.05,
+    the Graph500 mix). Self-loop samples are dropped and duplicate samples
+    merged, so the result has at most [m] edges.
+    @raise Invalid_argument unless [n] is a power of two [>= 2] and the
+    probabilities lie in [0,1). *)
+
+val power_law : ?exponent:float -> Rng.t -> n:int -> m:int -> Graph.t
+(** [power_law rng ~n ~m]: Chung–Lu-style graph with a fixed edge budget;
+    both endpoints of each of the [m] samples are drawn independently
+    with probability proportional to [(i+1)^(-1/(exponent-1))] (default
+    exponent 2.5), giving a heavy-tailed degree sequence.
+    @raise Invalid_argument unless [n >= 2] and [exponent > 1]. *)
+
+val pref_attach : Rng.t -> n:int -> k:int -> Graph.t
+(** [pref_attach rng ~n ~k]: scalable preferential attachment — each new
+    node draws [k] targets from the degree-proportional endpoint pool
+    (duplicates merge, so degrees are at most [k] per arrival); the
+    first [k+1] nodes form a clique. Unlike {!barabasi_albert} there is
+    no distinct-target retry loop, so generation is [O(m)] at any scale.
+    @raise Invalid_argument unless [1 <= k < n]. *)

@@ -1,86 +1,278 @@
+(* Flat CSR (compressed sparse row) graph core. The whole structure is two
+   Bigarrays of native ints — [offsets] (n+1 cells) and [targets] (2m cells,
+   each undirected edge stored in both rows, rows sorted ascending) — so a
+   10^6-node / 10^7-edge graph is two contiguous buffers with no per-node
+   heap blocks, and Io.save_csr/load_csr can blit or mmap them directly. *)
+
+type int_array1 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   n : int;
-  adj : int array array;
   m : int;
+  offsets : int_array1;
+  targets : int_array1;
   (* Per-node offsets into the dense edge numbering; edge (u,v) with u < v
-     gets index [offset.(u) + position of v among u's larger neighbors]. *)
-  edge_offset : int array;
+     gets index [edge_offset.(u) + position of v among u's larger
+     neighbors]. Computed on first [edge_index] call: only the congestion
+     accounting needs it, and skipping it keeps mmap loads O(1). *)
+  mutable edge_offset : int array option;
 }
+
+let ba_create len : int_array1 =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 len)
 
 let n t = t.n
 let m t = t.m
-let degree t v = Array.length t.adj.(v)
-let neighbors t v = t.adj.(v)
-let iter_neighbors t v f = Array.iter f t.adj.(v)
+let degree t v = t.offsets.{v + 1} - t.offsets.{v}
+let offsets t = t.offsets
+let targets t = t.targets
+
+let iter_neighbors t v f =
+  let hi = t.offsets.{v + 1} in
+  for i = t.offsets.{v} to hi - 1 do
+    f t.targets.{i}
+  done
+
+let neighbors t v =
+  let lo = t.offsets.{v} in
+  Array.init (t.offsets.{v + 1} - lo) (fun i -> t.targets.{lo + i})
+
 let nodes t = List.init t.n (fun i -> i)
 
 let max_degree t =
-  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
-
-let build_offsets n adj =
-  let offsets = Array.make n 0 in
-  let acc = ref 0 in
-  for u = 0 to n - 1 do
-    offsets.(u) <- !acc;
-    Array.iter (fun v -> if v > u then incr acc) adj.(u)
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    let d = degree t v in
+    if d > !best then best := d
   done;
-  (offsets, !acc)
+  !best
 
-let of_adj raw =
-  let n = Array.length raw in
-  let sets = Array.make n [] in
-  Array.iteri
-    (fun u nbrs ->
-      Array.iter
-        (fun v ->
-          if v < 0 || v >= n then invalid_arg "Graph.of_adj: endpoint out of range";
-          if v = u then invalid_arg "Graph.of_adj: self-loop";
-          sets.(u) <- v :: sets.(u);
-          sets.(v) <- u :: sets.(v))
-        nbrs)
-    raw;
-  let adj =
-    Array.map
-      (fun l ->
-        let a = Array.of_list (List.sort_uniq compare l) in
-        a)
-      sets
+(* Edges are accumulated packed, one per add: (min lsl 31) lor max. This
+   keeps the builder a single growable int buffer (no tuple per edge) and
+   makes sort-and-dedup a plain int sort; it caps n at 2^31, far beyond
+   what a 63-bit address space can hold as CSR anyway. *)
+
+let shift = 31
+let lowmask = (1 lsl shift) - 1
+
+type builder = {
+  bn : int;
+  mutable packed : int_array1;
+  mutable blen : int;
+  mutable built : bool;
+}
+
+module Builder = struct
+  let create ~n =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative n";
+    if n > 1 lsl shift then
+      invalid_arg "Graph.Builder.create: n exceeds 2^31";
+    { bn = n; packed = ba_create 1024; blen = 0; built = false }
+
+  let add_edge b u v =
+    if b.built then invalid_arg "Graph.Builder.add_edge: already built";
+    if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+      invalid_arg "Graph.Builder.add_edge: endpoint out of range";
+    if u = v then invalid_arg "Graph.Builder.add_edge: self-loop";
+    let lo = if u < v then u else v and hi = if u < v then v else u in
+    let len = b.blen in
+    if len = Bigarray.Array1.dim b.packed then begin
+      let grown = ba_create (2 * len) in
+      Bigarray.Array1.blit b.packed (Bigarray.Array1.sub grown 0 len);
+      b.packed <- grown
+    end;
+    b.packed.{len} <- (lo lsl shift) lor hi;
+    b.blen <- len + 1
+
+  (* monomorphic in-place quicksort on a slice; inclusive bounds *)
+  let rec qsort (a : int_array1) lo hi =
+    if hi - lo < 16 then
+      for i = lo + 1 to hi do
+        let x = a.{i} in
+        let j = ref (i - 1) in
+        while !j >= lo && a.{!j} > x do
+          a.{!j + 1} <- a.{!j};
+          decr j
+        done;
+        a.{!j + 1} <- x
+      done
+    else begin
+      let swap i j =
+        let tmp = a.{i} in
+        a.{i} <- a.{j};
+        a.{j} <- tmp
+      in
+      let mid = (lo + hi) / 2 in
+      if a.{mid} < a.{lo} then swap mid lo;
+      if a.{hi} < a.{lo} then swap hi lo;
+      if a.{hi} < a.{mid} then swap hi mid;
+      let pivot = a.{mid} in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.{!i} < pivot do
+          incr i
+        done;
+        while a.{!j} > pivot do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      qsort a lo !j;
+      qsort a !i hi
+    end
+
+  let build b =
+    if b.built then invalid_arg "Graph.Builder.build: already built";
+    b.built <- true;
+    let n = b.bn and k = b.blen in
+    let packed = b.packed in
+    (* group by smaller endpoint (counting sort), then sort each group by
+       the packed value — i.e. by larger endpoint *)
+    let group = Array.make (n + 1) 0 in
+    for i = 0 to k - 1 do
+      let u = packed.{i} lsr shift in
+      group.(u + 1) <- group.(u + 1) + 1
+    done;
+    for u = 1 to n do
+      group.(u) <- group.(u) + group.(u - 1)
+    done;
+    let cursor = Array.sub group 0 (max 1 n) in
+    let sorted = ba_create k in
+    for i = 0 to k - 1 do
+      let p = packed.{i} in
+      let u = p lsr shift in
+      sorted.{cursor.(u)} <- p;
+      cursor.(u) <- cursor.(u) + 1
+    done;
+    b.packed <- ba_create 0;
+    for u = 0 to n - 1 do
+      qsort sorted group.(u) (group.(u + 1) - 1)
+    done;
+    (* dedup pass: degrees over distinct edges only *)
+    let deg = Array.make (max 1 n) 0 in
+    let m = ref 0 in
+    for u = 0 to n - 1 do
+      let prev = ref (-1) in
+      for i = group.(u) to group.(u + 1) - 1 do
+        let p = sorted.{i} in
+        if p <> !prev then begin
+          prev := p;
+          incr m;
+          let v = p land lowmask in
+          deg.(u) <- deg.(u) + 1;
+          deg.(v) <- deg.(v) + 1
+        end
+      done
+    done;
+    let m = !m in
+    let offsets = ba_create (n + 1) in
+    offsets.{0} <- 0;
+    for u = 0 to n - 1 do
+      offsets.{u + 1} <- offsets.{u} + deg.(u)
+    done;
+    let targets = ba_create (2 * m) in
+    let fill = Array.make (max 1 n) 0 in
+    for u = 0 to n - 1 do
+      fill.(u) <- offsets.{u}
+    done;
+    (* scatter in (u,v)-sorted order: each row first receives its smaller
+       partners (in increasing order of their ids), then — once its own
+       group is reached — its larger partners in increasing order, so
+       every row comes out sorted without a second per-row sort *)
+    for u = 0 to n - 1 do
+      let prev = ref (-1) in
+      for i = group.(u) to group.(u + 1) - 1 do
+        let p = sorted.{i} in
+        if p <> !prev then begin
+          prev := p;
+          let v = p land lowmask in
+          targets.{fill.(u)} <- v;
+          fill.(u) <- fill.(u) + 1;
+          targets.{fill.(v)} <- u;
+          fill.(v) <- fill.(v) + 1
+        end
+      done
+    done;
+    { n; m; offsets; targets; edge_offset = None }
+end
+
+let of_edge_seq ~n seq =
+  let b = Builder.create ~n in
+  Seq.iter (fun (u, v) -> Builder.add_edge b u v) seq;
+  Builder.build b
+
+let edges_seq t =
+  let rec from u i () =
+    if u >= t.n then Seq.Nil
+    else if i >= t.offsets.{u + 1} then from (u + 1) t.offsets.{u + 1} ()
+    else
+      let v = t.targets.{i} in
+      if v > u then Seq.Cons ((u, v), from u (i + 1)) else from u (i + 1) ()
   in
-  let edge_offset, m = build_offsets n adj in
-  { n; adj; m; edge_offset }
+  fun () -> if t.n = 0 then Seq.Nil else from 0 0 ()
+
+let of_csr_unchecked ~n ~m ~offsets ~targets =
+  if n < 0 || m < 0 then invalid_arg "Graph.of_csr_unchecked: negative size";
+  if Bigarray.Array1.dim offsets < n + 1 then
+    invalid_arg "Graph.of_csr_unchecked: offsets too short";
+  if Bigarray.Array1.dim targets < 2 * m then
+    invalid_arg "Graph.of_csr_unchecked: targets too short";
+  if offsets.{0} <> 0 || offsets.{n} <> 2 * m then
+    invalid_arg "Graph.of_csr_unchecked: inconsistent offsets";
+  { n; m; offsets; targets; edge_offset = None }
+
+(* deprecated list-shaped constructors (shims for one PR; see mli) *)
 
 let create ~n ~edges =
   if n < 0 then invalid_arg "Graph.create: negative n";
-  let sets = Array.make (max n 1) [] in
+  let b = Builder.create ~n in
   List.iter
     (fun (u, v) ->
       if u < 0 || u >= n || v < 0 || v >= n then
         invalid_arg "Graph.create: endpoint out of range";
       if u = v then invalid_arg "Graph.create: self-loop";
-      sets.(u) <- v :: sets.(u);
-      sets.(v) <- u :: sets.(v))
+      Builder.add_edge b u v)
     edges;
-  let adj =
-    Array.init n (fun u -> Array.of_list (List.sort_uniq compare sets.(u)))
-  in
-  let edge_offset, m = build_offsets n adj in
-  { n; adj; m; edge_offset }
+  Builder.build b
+
+let of_adj raw =
+  let nn = Array.length raw in
+  let b = Builder.create ~n:nn in
+  Array.iteri
+    (fun u nbrs ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= nn then
+            invalid_arg "Graph.of_adj: endpoint out of range";
+          if v = u then invalid_arg "Graph.of_adj: self-loop";
+          Builder.add_edge b u v)
+        nbrs)
+    raw;
+  Builder.build b
 
 let is_edge t u v =
-  let a = t.adj.(u) in
   let rec search lo hi =
     if lo >= hi then false
     else
       let mid = (lo + hi) / 2 in
-      if a.(mid) = v then true
-      else if a.(mid) < v then search (mid + 1) hi
+      let x = t.targets.{mid} in
+      if x = v then true
+      else if x < v then search (mid + 1) hi
       else search lo mid
   in
-  search 0 (Array.length a)
+  search t.offsets.{u} t.offsets.{u + 1}
 
 let iter_edges t f =
   for u = 0 to t.n - 1 do
-    Array.iter (fun v -> if u < v then f u v) t.adj.(u)
+    let hi = t.offsets.{u + 1} in
+    for i = t.offsets.{u} to hi - 1 do
+      let v = t.targets.{i} in
+      if u < v then f u v
+    done
   done
 
 let fold_edges t ~init ~f =
@@ -90,26 +282,31 @@ let fold_edges t ~init ~f =
 
 let edges t = List.rev (fold_edges t ~init:[] ~f:(fun acc u v -> (u, v) :: acc))
 
+let edge_offset t =
+  match t.edge_offset with
+  | Some a -> a
+  | None ->
+      let a = Array.make (max 1 t.n) 0 in
+      let acc = ref 0 in
+      for u = 0 to t.n - 1 do
+        a.(u) <- !acc;
+        iter_neighbors t u (fun v -> if v > u then incr acc)
+      done;
+      t.edge_offset <- Some a;
+      a
+
 let edge_index t (u, v) =
   let u, v = if u < v then (u, v) else (v, u) in
   if not (is_edge t u v) then raise Not_found;
-  let a = t.adj.(u) in
   (* count neighbors of u that are > u and < v *)
   let pos = ref 0 in
-  let found = ref (-1) in
-  Array.iter
-    (fun w ->
-      if w > u then begin
-        if w = v then found := !pos;
-        if w < v then incr pos
-      end)
-    a;
-  ignore !found;
-  t.edge_offset.(u) + !pos
+  iter_neighbors t u (fun w -> if w > u && w < v then incr pos);
+  (edge_offset t).(u) + !pos
 
 let apply_edits t ~del ~add =
   let norm what (u, v) =
-    if u = v then invalid_arg (Printf.sprintf "Graph.apply_edits: self-loop in %s" what);
+    if u = v then
+      invalid_arg (Printf.sprintf "Graph.apply_edits: self-loop in %s" what);
     if u < 0 || u >= t.n || v < 0 || v >= t.n then
       invalid_arg
         (Printf.sprintf "Graph.apply_edits: %s endpoint out of range" what);
@@ -130,33 +327,19 @@ let apply_edits t ~del ~add =
       let u, v = norm "add" e in
       if Hashtbl.mem dels (u, v) then
         invalid_arg
-          (Printf.sprintf "Graph.apply_edits: edge (%d,%d) both deleted and added"
-             u v);
+          (Printf.sprintf
+             "Graph.apply_edits: edge (%d,%d) both deleted and added" u v);
       if is_edge t u v then
         invalid_arg
-          (Printf.sprintf "Graph.apply_edits: adding existing edge (%d,%d)" u v);
+          (Printf.sprintf "Graph.apply_edits: adding existing edge (%d,%d)" u
+             v);
       Hashtbl.replace adds (u, v) ())
     add;
-  let sets = Array.make t.n [] in
-  for u = 0 to t.n - 1 do
-    Array.iter
-      (fun v ->
-        if u < v && not (Hashtbl.mem dels (u, v)) then begin
-          sets.(u) <- v :: sets.(u);
-          sets.(v) <- u :: sets.(v)
-        end)
-      t.adj.(u)
-  done;
-  Hashtbl.iter
-    (fun (u, v) () ->
-      sets.(u) <- v :: sets.(u);
-      sets.(v) <- u :: sets.(v))
-    adds;
-  let adj =
-    Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) sets
-  in
-  let edge_offset, m = build_offsets t.n adj in
-  { n = t.n; adj; m; edge_offset }
+  let b = Builder.create ~n:t.n in
+  iter_edges t (fun u v ->
+      if not (Hashtbl.mem dels (u, v)) then Builder.add_edge b u v);
+  Hashtbl.iter (fun (u, v) () -> Builder.add_edge b u v) adds;
+  Builder.build b
 
 let pp fmt t =
   Format.fprintf fmt "graph(n=%d, m=%d, maxdeg=%d)" t.n t.m (max_degree t)
@@ -164,8 +347,13 @@ let pp fmt t =
 let equal a b =
   a.n = b.n
   && a.m = b.m
-  && (let ok = ref true in
-      for u = 0 to a.n - 1 do
-        if a.adj.(u) <> b.adj.(u) then ok := false
-      done;
-      !ok)
+  &&
+  let ok = ref true in
+  for u = 0 to a.n do
+    if a.offsets.{u} <> b.offsets.{u} then ok := false
+  done;
+  if !ok then
+    for i = 0 to (2 * a.m) - 1 do
+      if a.targets.{i} <> b.targets.{i} then ok := false
+    done;
+  !ok

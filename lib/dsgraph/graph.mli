@@ -1,20 +1,70 @@
-(** Immutable simple undirected graphs in compressed adjacency form.
+(** Immutable simple undirected graphs in flat CSR form.
 
     Nodes are the integers [0 .. n-1]; this plays the role of the
     {i O(log n)-bit unique identifiers} of the CONGEST model. Graphs are
-    simple (no self-loops, no parallel edges) and undirected: every edge
-    appears in both adjacency lists, and adjacency lists are sorted. *)
+    simple (no self-loops, no parallel edges) and undirected; every edge
+    appears in both rows, and rows are sorted.
+
+    The representation is two Bigarrays of native ints: {!offsets}
+    ([n+1] cells) and {!targets} ([2m] cells), so million-node graphs
+    are two contiguous buffers that {!Io.save_csr} / {!Io.load_csr} can
+    write and mmap wholesale. Construction goes through {!Builder} (or
+    {!of_edge_seq}), which streams packed edges and finishes with one
+    counting-sort + dedup pass — never a per-edge heap value. *)
 
 type t
 
+type int_array1 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type builder
+(** A write-once graph under construction: stream edges in with
+    {!Builder.add_edge}, finish with {!Builder.build}. *)
+
+module Builder : sig
+  val create : n:int -> builder
+  (** Fresh builder on nodes [0..n-1].
+      @raise Invalid_argument if [n] is negative or exceeds [2^31]. *)
+
+  val add_edge : builder -> int -> int -> unit
+  (** Adds an undirected edge; orientation is irrelevant and duplicates
+      (in either orientation) are merged at {!build} time. O(1) amortized,
+      one packed int per call. @raise Invalid_argument on out-of-range
+      endpoints, self-loops, or a builder already built. *)
+
+  val build : builder -> t
+  (** Sorts, dedups and freezes into CSR; the builder is consumed and
+      must not be reused. O(k log k) in the number of added edges. *)
+end
+
+val of_edge_seq : n:int -> (int * int) Seq.t -> t
+(** [of_edge_seq ~n seq] streams [seq] through a {!Builder}. *)
+
+val edges_seq : t -> (int * int) Seq.t
+(** All edges with [u < v], in lexicographic order, produced lazily. *)
+
 val create : n:int -> edges:(int * int) list -> t
+[@@ocaml.deprecated
+  "materializes an edge list; use Graph.Builder / Graph.of_edge_seq. \
+   This shim is removed next PR."]
 (** [create ~n ~edges] builds a graph on nodes [0..n-1]. Self-loops are
     rejected; duplicate edges (in either orientation) are merged.
     @raise Invalid_argument on out-of-range endpoints or self-loops. *)
 
 val of_adj : int array array -> t
+[@@ocaml.deprecated
+  "materializes adjacency arrays; use Graph.Builder / Graph.of_edge_seq. \
+   This shim is removed next PR."]
 (** [of_adj adj] builds a graph from adjacency lists. The lists are
     symmetrized, sorted and deduplicated. *)
+
+val of_csr_unchecked :
+  n:int -> m:int -> offsets:int_array1 -> targets:int_array1 -> t
+(** Wraps raw CSR buffers without validating sortedness or symmetry —
+    the constructor {!Io.load_csr} uses on mmapped data, where the
+    checksummed header vouches for integrity. Only O(1) shape checks
+    ([dim offsets >= n+1], [dim targets >= 2m], [offsets.{0} = 0],
+    [offsets.{n} = 2m]) are performed.
+    @raise Invalid_argument when those fail. *)
 
 val n : t -> int
 (** Number of nodes. *)
@@ -26,13 +76,25 @@ val degree : t -> int -> int
 
 val max_degree : t -> int
 
+val offsets : t -> int_array1
+(** The CSR row-offset buffer, [n+1] cells; row [u] of {!targets} is
+    [offsets.{u} .. offsets.{u+1} - 1]. A view of the live structure —
+    treat as read-only. *)
+
+val targets : t -> int_array1
+(** The CSR adjacency buffer, [2m] cells, each row sorted. A view of the
+    live structure — treat as read-only. *)
+
 val neighbors : t -> int -> int array
-(** Sorted adjacency of a node. The returned array must not be mutated. *)
+(** Sorted adjacency of a node, as a freshly allocated array the caller
+    owns (a copying convenience). Hot paths should use {!iter_neighbors}
+    or the {!offsets}/{!targets} views, which allocate nothing. *)
 
 val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Applies the function to each neighbor in sorted order; allocation-free. *)
 
 val is_edge : t -> int -> int -> bool
-(** Binary search on the adjacency list; [O(log degree)]. *)
+(** Binary search on the adjacency row; [O(log degree)]. *)
 
 val iter_edges : t -> (int -> int -> unit) -> unit
 (** Iterates each undirected edge once, with [u < v]. *)
@@ -40,11 +102,15 @@ val iter_edges : t -> (int -> int -> unit) -> unit
 val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
 
 val edges : t -> (int * int) list
+[@@ocaml.deprecated
+  "materializes an edge list; use Graph.edges_seq / Graph.iter_edges. \
+   This shim is removed next PR."]
 (** All edges with [u < v], in lexicographic order. *)
 
-val edge_index : t -> (int * int) -> int
+val edge_index : t -> int * int -> int
 (** [edge_index g (u, v)] is a dense index in [0 .. m-1] identifying the
     undirected edge, usable for per-edge accounting (e.g. congestion).
+    The numbering table is computed on first use and cached.
     @raise Not_found if [(u, v)] is not an edge. *)
 
 val apply_edits : t -> del:(int * int) list -> add:(int * int) list -> t

@@ -1,16 +1,16 @@
 let power g k =
   if k < 1 then invalid_arg "Power.power: k must be >= 1";
   let n = Graph.n g in
-  let adj = Array.make n [||] in
-  let dist = Array.make n (-1) in
+  let b = Graph.Builder.create ~n in
+  let dist = Array.make (max 1 n) (-1) in
   let touched = ref [] in
   let queue = Queue.create () in
   for s = 0 to n - 1 do
-    (* truncated BFS to depth k *)
+    (* truncated BFS to depth k; every node reached within distance k
+       becomes a power-graph edge of s (duplicates merge at build) *)
     dist.(s) <- 0;
     touched := [ s ];
     Queue.add s queue;
-    let reached = ref [] in
     while not (Queue.is_empty queue) do
       let u = Queue.pop queue in
       if dist.(u) < k then
@@ -18,11 +18,10 @@ let power g k =
             if dist.(v) = -1 then begin
               dist.(v) <- dist.(u) + 1;
               touched := v :: !touched;
-              reached := v :: !reached;
+              Graph.Builder.add_edge b s v;
               Queue.add v queue
             end)
     done;
-    adj.(s) <- Array.of_list !reached;
     List.iter (fun v -> dist.(v) <- -1) !touched
   done;
-  Graph.of_adj adj
+  Graph.Builder.build b

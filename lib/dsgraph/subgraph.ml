@@ -10,15 +10,15 @@ let induce g nodes =
   let back = Array.of_list sorted in
   let fwd = Hashtbl.create (Array.length back) in
   Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
-  let edges = ref [] in
+  let b = Graph.Builder.create ~n:(Array.length back) in
   Array.iteri
     (fun i v ->
       Graph.iter_neighbors g v (fun w ->
           if w > v then
             match Hashtbl.find_opt fwd w with
-            | Some j -> edges := (i, j) :: !edges
+            | Some j -> Graph.Builder.add_edge b i j
             | None -> ()))
     back;
-  (Graph.create ~n:(Array.length back) ~edges:!edges, back)
+  (Graph.Builder.build b, back)
 
 let induce_mask g mask = induce g (Mask.to_list mask)

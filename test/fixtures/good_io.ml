@@ -1,0 +1,16 @@
+(* Clean counterpart to bad_io.ml: graph persistence through Dsgraph.Io,
+   stdlib channels for text, and non-file Unix calls (clocks) are allowed
+   anywhere. Never built. *)
+
+let save_graph path g = Dsgraph.Io.save_csr path g
+let load_graph path = Dsgraph.Io.load_csr ~verify:true path
+
+let save_report path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)

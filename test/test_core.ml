@@ -98,7 +98,7 @@ let test_sparse_cut_epsilons () =
   List.iter (fun e -> ignore (validate_sparse_cut ~epsilon:e g)) [ 0.5; 0.25 ]
 
 let test_sparse_cut_singleton () =
-  let g = Graph.create ~n:1 ~edges:[] in
+  let g = Graph.of_edge_seq ~n:1 Seq.empty in
   match SC.run g ~domain:(Mask.full 1) with
   | SC.Component { u; boundary } ->
       Alcotest.(check (list int)) "u" [ 0 ] u;

@@ -1,0 +1,243 @@
+(* Tests for the binary CSR on-disk format (Io.save_csr / Io.load_csr):
+   qcheck round-trips, header validation (magic / endianness / version),
+   truncation errors, checksum verification, and byte-identical files
+   from seeded large-scale generators. *)
+
+open Dsgraph
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let with_tmp f =
+  let path = Filename.temp_file "csr_test" ".dsg" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* byte-level header/payload tampering for the rejection tests *)
+let patch path ~pos bytes =
+  let s = Bytes.of_string (read_file path) in
+  Bytes.blit_string bytes 0 s pos (String.length bytes);
+  write_file path (Bytes.to_string s)
+
+let save_star path =
+  let g = Gen.star 5 in
+  Io.save_csr path g;
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Round trips                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_basic () =
+  with_tmp (fun path ->
+      let g = Gen.grid 7 9 in
+      Io.save_csr path g;
+      let g' = Io.load_csr path in
+      check bool "equal" true (Graph.equal g g');
+      let g'' = Io.load_csr ~verify:true path in
+      check bool "equal under verify" true (Graph.equal g g''))
+
+let test_roundtrip_empty () =
+  with_tmp (fun path ->
+      let g = Graph.of_edge_seq ~n:0 Seq.empty in
+      Io.save_csr path g;
+      check int "n" 0 (Graph.n (Io.load_csr ~verify:true path)));
+  with_tmp (fun path ->
+      let g = Graph.of_edge_seq ~n:6 Seq.empty in
+      Io.save_csr path g;
+      let g' = Io.load_csr ~verify:true path in
+      check int "isolated nodes survive" 6 (Graph.n g');
+      check int "no edges" 0 (Graph.m g'))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"save_csr/load_csr is the identity" ~count:80
+    (QCheck.make
+       ~print:(fun (seed, n, pct) ->
+         Printf.sprintf "seed=%d n=%d p=%d%%" seed n pct)
+       QCheck.Gen.(triple (int_bound 100_000) (int_range 1 60) (int_range 0 50)))
+    (fun (seed, n, pct) ->
+      let rng = Rng.create seed in
+      let g = Gen.erdos_renyi rng n (float_of_int pct /. 100.0) in
+      with_tmp (fun path ->
+          Io.save_csr path g;
+          Graph.equal g (Io.load_csr ~verify:true path)))
+
+(* ------------------------------------------------------------------ *)
+(* Header and payload rejection                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_rejects_bad_magic () =
+  with_tmp (fun path ->
+      ignore (save_star path);
+      patch path ~pos:0 "NOTAGRPH";
+      Alcotest.check_raises "magic"
+        (Invalid_argument "Io.load_csr: bad magic (not a CSR graph file)")
+        (fun () -> ignore (Io.load_csr path)))
+
+let test_rejects_foreign_endianness () =
+  with_tmp (fun path ->
+      ignore (save_star path);
+      (* byte-swap the endian marker: what the same file would look like
+         to a reader of the opposite endianness *)
+      let s = read_file path in
+      let swapped = String.init 8 (fun i -> s.[8 + (7 - i)]) in
+      patch path ~pos:8 swapped;
+      Alcotest.check_raises "endianness"
+        (Invalid_argument "Io.load_csr: endianness mismatch") (fun () ->
+          ignore (Io.load_csr path)))
+
+let test_rejects_unknown_version () =
+  with_tmp (fun path ->
+      ignore (save_star path);
+      let v2 = Bytes.create 8 in
+      Bytes.set_int64_ne v2 0 2L;
+      patch path ~pos:16 (Bytes.to_string v2);
+      Alcotest.check_raises "version"
+        (Invalid_argument "Io.load_csr: unsupported version 2") (fun () ->
+          ignore (Io.load_csr path)))
+
+let test_rejects_truncated_header () =
+  with_tmp (fun path ->
+      ignore (save_star path);
+      let s = read_file path in
+      write_file path (String.sub s 0 10);
+      Alcotest.check_raises "header"
+        (Invalid_argument "Io.load_csr: truncated header") (fun () ->
+          ignore (Io.load_csr path)))
+
+let test_rejects_truncated_payload () =
+  with_tmp (fun path ->
+      let g = save_star path in
+      let words = Graph.n g + 1 + (2 * Graph.m g) in
+      let expected = 64 + (8 * words) in
+      let s = read_file path in
+      write_file path (String.sub s 0 (String.length s - 8));
+      Alcotest.check_raises "payload"
+        (Invalid_argument
+           (Printf.sprintf
+              "Io.load_csr: truncated file (expected %d bytes, found %d)"
+              expected (expected - 8)))
+        (fun () -> ignore (Io.load_csr path)))
+
+let test_checksum_catches_bit_rot () =
+  with_tmp (fun path ->
+      ignore (save_star path);
+      (* flip a word in the targets payload, past the offsets block *)
+      let s = read_file path in
+      let pos = String.length s - 8 in
+      let corrupt = Bytes.create 8 in
+      Bytes.set_int64_ne corrupt 0 0x7FL;
+      patch path ~pos (Bytes.to_string corrupt);
+      Alcotest.check_raises "checksum"
+        (Invalid_argument "Io.load_csr: checksum mismatch") (fun () ->
+          ignore (Io.load_csr ~verify:true path)))
+
+(* ------------------------------------------------------------------ *)
+(* Large-scale generators: determinism down to the file bytes          *)
+(* ------------------------------------------------------------------ *)
+
+let save_generated path gen seed =
+  let rng = Rng.create seed in
+  Io.save_csr path (gen rng)
+
+let bytes_identical gen seed =
+  with_tmp (fun p1 ->
+      with_tmp (fun p2 ->
+          save_generated p1 gen seed;
+          save_generated p2 gen seed;
+          read_file p1 = read_file p2))
+
+let test_rmat_deterministic () =
+  let gen rng = Gen.rmat rng ~n:131_072 ~m:400_000 in
+  check bool "same seed, same bytes" true (bytes_identical gen 42);
+  with_tmp (fun p1 ->
+      with_tmp (fun p2 ->
+          save_generated p1 gen 42;
+          save_generated p2 gen 43;
+          check bool "different seed, different bytes" false
+            (read_file p1 = read_file p2)))
+
+let test_power_law_deterministic () =
+  let gen rng = Gen.power_law rng ~n:100_000 ~m:300_000 in
+  check bool "same seed, same bytes" true (bytes_identical gen 7)
+
+let test_pref_attach_deterministic () =
+  let gen rng = Gen.pref_attach rng ~n:100_000 ~k:3 in
+  check bool "same seed, same bytes" true (bytes_identical gen 7)
+
+let test_rmat_shape () =
+  let rng = Rng.create 5 in
+  let g = Gen.rmat rng ~n:1024 ~m:4096 in
+  check int "n" 1024 (Graph.n g);
+  (* m samples minus self-loops and duplicates *)
+  check bool "m close to requested" true
+    (Graph.m g > 3_000 && Graph.m g <= 4096);
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "Gen.rmat: n must be a power of two >= 2") (fun () ->
+      ignore (Gen.rmat rng ~n:1000 ~m:10))
+
+let test_power_law_shape () =
+  let rng = Rng.create 5 in
+  let g = Gen.power_law rng ~n:2_000 ~m:8_000 in
+  check int "n" 2_000 (Graph.n g);
+  check bool "m close to requested" true
+    (Graph.m g > 6_000 && Graph.m g <= 8_000)
+
+let test_pref_attach_shape () =
+  let rng = Rng.create 5 in
+  let g = Gen.pref_attach rng ~n:3_000 ~k:4 in
+  check int "n" 3_000 (Graph.n g);
+  (* every non-seed node brings k (possibly duplicated) edges *)
+  check bool "m lower bound" true (Graph.m g >= 3_000);
+  check bool "connected" true
+    (Array.for_all (fun d -> d >= 0) (Bfs.distances g ~source:0))
+
+let () =
+  Alcotest.run "csr"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "basic" `Quick test_roundtrip_basic;
+          Alcotest.test_case "empty graphs" `Quick test_roundtrip_empty;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "bad magic" `Quick test_rejects_bad_magic;
+          Alcotest.test_case "foreign endianness" `Quick
+            test_rejects_foreign_endianness;
+          Alcotest.test_case "unknown version" `Quick
+            test_rejects_unknown_version;
+          Alcotest.test_case "truncated header" `Quick
+            test_rejects_truncated_header;
+          Alcotest.test_case "truncated payload" `Quick
+            test_rejects_truncated_payload;
+          Alcotest.test_case "checksum catches bit rot" `Quick
+            test_checksum_catches_bit_rot;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "rmat deterministic at 10^5" `Quick
+            test_rmat_deterministic;
+          Alcotest.test_case "power_law deterministic at 10^5" `Quick
+            test_power_law_deterministic;
+          Alcotest.test_case "pref_attach deterministic at 10^5" `Quick
+            test_pref_attach_deterministic;
+          Alcotest.test_case "rmat shape" `Quick test_rmat_shape;
+          Alcotest.test_case "power_law shape" `Quick test_power_law_shape;
+          Alcotest.test_case "pref_attach shape" `Quick test_pref_attach_shape;
+        ] );
+    ]

@@ -38,20 +38,36 @@ let random_graph seed n p =
 (* ------------------------------------------------------------------ *)
 
 let test_create_dedup () =
-  let g = Graph.create ~n:4 ~edges:[ (0, 1); (1, 0); (0, 1); (2, 3) ] in
+  let g =
+    Graph.of_edge_seq ~n:4 (List.to_seq [ (0, 1); (1, 0); (0, 1); (2, 3) ])
+  in
   check int "m" 2 (Graph.m g);
   check bool "edge 0-1" true (Graph.is_edge g 0 1);
   check bool "edge 1-0" true (Graph.is_edge g 1 0);
   check bool "edge 0-2" false (Graph.is_edge g 0 2)
 
 let test_create_rejects_self_loop () =
-  Alcotest.check_raises "self loop" (Invalid_argument "Graph.create: self-loop")
-    (fun () -> ignore (Graph.create ~n:3 ~edges:[ (1, 1) ]))
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph.Builder.add_edge: self-loop") (fun () ->
+      ignore (Graph.of_edge_seq ~n:3 (List.to_seq [ (1, 1) ])))
 
 let test_create_rejects_out_of_range () =
   Alcotest.check_raises "range"
-    (Invalid_argument "Graph.create: endpoint out of range") (fun () ->
-      ignore (Graph.create ~n:3 ~edges:[ (0, 3) ]))
+    (Invalid_argument "Graph.Builder.add_edge: endpoint out of range")
+    (fun () -> ignore (Graph.of_edge_seq ~n:3 (List.to_seq [ (0, 3) ])))
+
+let test_builder_incremental () =
+  let b = Graph.Builder.create ~n:5 in
+  Graph.Builder.add_edge b 4 0;
+  Graph.Builder.add_edge b 0 4;
+  Graph.Builder.add_edge b 2 1;
+  let g = Graph.Builder.build b in
+  check int "m" 2 (Graph.m g);
+  check bool "0-4" true (Graph.is_edge g 0 4);
+  check bool "1-2" true (Graph.is_edge g 1 2);
+  Alcotest.check_raises "reuse"
+    (Invalid_argument "Graph.Builder.build: already built") (fun () ->
+      ignore (Graph.Builder.build b))
 
 let test_degrees () =
   let g = Gen.star 5 in
@@ -60,9 +76,10 @@ let test_degrees () =
   check int "max degree" 4 (Graph.max_degree g)
 
 let test_edges_ordered () =
-  let g = Graph.create ~n:4 ~edges:[ (3, 2); (1, 0); (2, 0) ] in
+  let g = Graph.of_edge_seq ~n:4 (List.to_seq [ (3, 2); (1, 0); (2, 0) ]) in
   Alcotest.(check (list (pair int int)))
-    "edges" [ (0, 1); (0, 2); (2, 3) ] (Graph.edges g)
+    "edges" [ (0, 1); (0, 2); (2, 3) ]
+    (List.of_seq (Graph.edges_seq g))
 
 let test_edge_index_distinct () =
   let g = Gen.grid 4 4 in
@@ -74,11 +91,32 @@ let test_edge_index_distinct () =
       check int "orientation independent" i (Graph.edge_index g (v, u)));
   check int "count" (Graph.m g) (Hashtbl.length seen)
 
-let test_of_adj_symmetrizes () =
-  let g = Graph.of_adj [| [| 1 |]; [||]; [| 1 |] |] in
-  check bool "0-1" true (Graph.is_edge g 0 1);
-  check bool "1-2" true (Graph.is_edge g 1 2);
-  check int "m" 2 (Graph.m g)
+(* The list-shaped constructors are deprecated shims kept for exactly one
+   PR; this module checks they still behave (and validate) until removal. *)
+module Shims = struct
+  [@@@alert "-deprecated"]
+
+  let test_of_adj_symmetrizes () =
+    let g = Graph.of_adj [| [| 1 |]; [||]; [| 1 |] |] in
+    check bool "0-1" true (Graph.is_edge g 0 1);
+    check bool "1-2" true (Graph.is_edge g 1 2);
+    check int "m" 2 (Graph.m g)
+
+  let test_create_shim () =
+    let g = Graph.create ~n:3 ~edges:[ (2, 1); (0, 1) ] in
+    check int "m" 2 (Graph.m g);
+    Alcotest.(check (list (pair int int)))
+      "edges list" [ (0, 1); (1, 2) ] (Graph.edges g);
+    Alcotest.check_raises "self loop"
+      (Invalid_argument "Graph.create: self-loop") (fun () ->
+        ignore (Graph.create ~n:3 ~edges:[ (1, 1) ]));
+    Alcotest.check_raises "range"
+      (Invalid_argument "Graph.create: endpoint out of range") (fun () ->
+        ignore (Graph.create ~n:3 ~edges:[ (0, 3) ]))
+end
+
+let test_of_adj_symmetrizes = Shims.test_of_adj_symmetrizes
+let test_create_shim = Shims.test_create_shim
 
 let test_equal () =
   let a = Gen.cycle 5 and b = Gen.cycle 5 and c = Gen.path 5 in
@@ -553,6 +591,9 @@ let () =
           Alcotest.test_case "edge_index distinct" `Quick
             test_edge_index_distinct;
           Alcotest.test_case "of_adj symmetrizes" `Quick test_of_adj_symmetrizes;
+          Alcotest.test_case "builder incremental" `Quick
+            test_builder_incremental;
+          Alcotest.test_case "deprecated create shim" `Quick test_create_shim;
           Alcotest.test_case "equal" `Quick test_equal;
         ] );
       ( "gen",

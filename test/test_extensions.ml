@@ -344,7 +344,7 @@ let test_io_roundtrip () =
   check bool "roundtrip" true (Graph.equal g (Io.of_edge_list text))
 
 let test_io_preserves_isolated_nodes () =
-  let g = Graph.create ~n:5 ~edges:[ (0, 1) ] in
+  let g = Graph.of_edge_seq ~n:5 (Seq.return (0, 1)) in
   let g' = Io.of_edge_list (Io.to_edge_list g) in
   check int "n preserved" 5 (Graph.n g')
 

@@ -114,6 +114,24 @@ let test_good_edit_fixture () =
   check int "repair-engine callers lint clean" 0
     (List.length (Lint_core.lint_file (fixture "good_edit.ml")))
 
+let test_bad_io_fixture () =
+  let findings = Lint_core.lint_file (fixture "bad_io.ml") in
+  check
+    Alcotest.(list string)
+    "only raw-io trips" [ "raw-io" ] (rules_of findings);
+  (* openfile + map_file + lseek + write + read *)
+  check int "every raw call found" 5 (count "raw-io" findings);
+  (* the default config allow-lists Dsgraph.Io and the trace sink *)
+  let inside_io =
+    { Lint_core.disabled = []; allow = [ ("raw-io", "fixtures") ] }
+  in
+  check int "allow-listed under dsgraph/io-style paths" 0
+    (List.length (Lint_core.lint_file ~config:inside_io (fixture "bad_io.ml")))
+
+let test_good_io_fixture () =
+  check int "Io-mediated persistence lints clean" 0
+    (List.length (Lint_core.lint_file (fixture "good_io.ml")))
+
 let test_parse_error () =
   let path = Filename.temp_file "lint_garbage" ".ml" in
   let oc = open_out path in
@@ -168,6 +186,10 @@ let () =
             test_bad_edit_fixture;
           Alcotest.test_case "repair-engine callers allowed" `Quick
             test_good_edit_fixture;
+          Alcotest.test_case "raw file I/O outside Dsgraph.Io flagged" `Quick
+            test_bad_io_fixture;
+          Alcotest.test_case "Io-mediated persistence allowed" `Quick
+            test_good_io_fixture;
           Alcotest.test_case "allow and disable lists" `Quick
             test_allow_and_disable;
           Alcotest.test_case "parse error degrades to finding" `Quick

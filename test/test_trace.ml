@@ -130,6 +130,64 @@ let test_capacity_truncation () =
   check int "cleared" 0 (Trace.length s);
   check int "cleared truncation" 0 (Trace.truncated s)
 
+let test_spill_streams_past_capacity () =
+  let path = Filename.temp_file "trace_spill" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* capacity 16, 10k events: the overwhelming majority live on disk *)
+      let s = Trace.sink ~capacity:16 ~spill:path () in
+      for round = 1 to 5_000 do
+        Trace.record s (Trace.Round_start { round });
+        Trace.emit_message_sent s ~round ~src:(round mod 7)
+          ~dst:((round + 1) mod 7) ~bits:round
+      done;
+      check int "nothing truncated" 0 (Trace.truncated s);
+      check int "all events retained" 10_000 (Trace.length s);
+      check bool "spilled to disk" true (Trace.spilled s > 9_000);
+      (* iter replays the spilled prefix then the in-memory tail, in
+         emission order *)
+      let next = ref 1 and ok = ref true in
+      Trace.iter
+        (fun ev ->
+          (match ev with
+          | Trace.Round_start { round } -> if round <> !next then ok := false
+          | Trace.Message_sent { round; bits; _ } ->
+              if round <> !next || bits <> !next then ok := false;
+              incr next
+          | _ -> ok := false))
+        s;
+      check bool "replay order intact" true !ok;
+      check int "replayed everything" 5_001 !next;
+      (* random access crosses the disk/memory boundary transparently *)
+      (match Trace.events s with
+      | Trace.Round_start { round } :: _ -> check int "first event" 1 round
+      | _ -> Alcotest.fail "unexpected first event");
+      Trace.clear s;
+      check int "cleared" 0 (Trace.length s);
+      check int "cleared spill" 0 (Trace.spilled s);
+      check bool "spill file removed" false (Sys.file_exists path))
+
+let test_spill_jsonl_matches_memory () =
+  (* the same workload traced into an unbounded in-memory sink and a
+     tiny spilling sink must serialize identically *)
+  let run sink =
+    let adv = Fault.create (Fault.spec ~seed:7 ~drop:0.05 ~duplicate:0.02 ()) in
+    ignore
+      (Baseline.Mpx_distributed.partition ~seed:2 ~adversary:adv ~trace:sink
+         (er 4 60) ~beta:0.5);
+    Trace.to_jsonl sink
+  in
+  let mem = run (Trace.sink ()) in
+  let path = Filename.temp_file "trace_spill" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let spilling = Trace.sink ~capacity:8 ~spill:path () in
+      let disk = run spilling in
+      check bool "spilled at all" true (Trace.spilled spilling > 0);
+      check bool "identical serialization" true (mem = disk))
+
 let test_off_path_allocation_free () =
   (* the simulator's guard pattern: with no sink attached, the emission
      site must not allocate anything *)
@@ -347,6 +405,10 @@ let () =
       ( "sink",
         [
           Alcotest.test_case "capacity truncation" `Quick test_capacity_truncation;
+          Alcotest.test_case "spill streams past capacity" `Quick
+            test_spill_streams_past_capacity;
+          Alcotest.test_case "spill serializes like memory" `Quick
+            test_spill_jsonl_matches_memory;
           Alcotest.test_case "off path allocation-free" `Quick
             test_off_path_allocation_free;
           Alcotest.test_case "hot emitters allocation-free" `Quick

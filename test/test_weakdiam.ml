@@ -177,14 +177,14 @@ let test_epsilon_validation () =
     (fun () -> ignore (WC.carve g ~epsilon:1.0))
 
 let test_singleton_graph () =
-  let g = Graph.create ~n:1 ~edges:[] in
+  let g = Graph.of_edge_seq ~n:1 Seq.empty in
   let r = WC.carve g ~epsilon:0.5 in
   let clustering = r.carving.Carving.clustering in
   check int "one cluster" 1 (Clustering.num_clusters clustering);
   check int "no dead" 0 (List.length (Carving.dead r.carving))
 
 let test_two_isolated_nodes () =
-  let g = Graph.create ~n:2 ~edges:[] in
+  let g = Graph.of_edge_seq ~n:2 Seq.empty in
   let r = WC.carve g ~epsilon:0.5 in
   check int "two clusters" 2
     (Clustering.num_clusters r.carving.Carving.clustering)

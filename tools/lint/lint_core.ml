@@ -25,6 +25,9 @@ let rules =
     ( "graph-edit",
       "Graph.apply_edits outside the repair engine: fault deltas must \
        flow through Cluster.Repair's audited state" );
+    ( "raw-io",
+      "raw Unix file I/O outside Dsgraph.Io / the trace sink bypasses \
+       the checksummed CSR format and the spill protocol" );
     ("parse-error", "file does not parse");
   ]
 
@@ -37,6 +40,8 @@ let default_config =
         ("trace-emit", "lib/congest");
         ("graph-edit", "cluster/repair");
         ("graph-edit", "dsgraph");
+        ("raw-io", "dsgraph/io");
+        ("raw-io", "congest/trace");
       ];
   }
 
@@ -49,6 +54,19 @@ let trace_emit_names =
     "emit_message_delivered";
     "enter_span";
     "exit_span";
+  ]
+
+(* Raw file-descriptor I/O: mapping, opening, reading, writing, seeking.
+   Unix.gettimeofday and friends are fine anywhere. *)
+let raw_io_names =
+  [
+    "map_file";
+    "openfile";
+    "read";
+    "write";
+    "single_write";
+    "lseek";
+    "ftruncate";
   ]
 
 (* substring check, for allow-list path matching *)
@@ -113,6 +131,10 @@ let lint_structure ~config ~file structure =
         add loc "graph-edit"
           (String.concat "." path
           ^ ": derive faulted graphs through Cluster.Repair")
+    | name :: "Unix" :: _ when List.mem name raw_io_names ->
+        add loc "raw-io"
+          (String.concat "." path
+          ^ ": raw file I/O belongs in Dsgraph.Io or the trace sink")
     | _ -> ()
   in
   (* depth of enclosing { init; round; ... } program literals *)
