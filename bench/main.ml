@@ -14,6 +14,8 @@ open Dsgraph
 module Suite = Workload.Suite
 module Algorithms = Workload.Algorithms
 module Measure = Workload.Measure
+module Trajectory = Workload.Trajectory
+module Resource = Congest.Resource
 
 let fmt = Format.std_formatter
 
@@ -32,12 +34,19 @@ let mode =
   | _ :: "chaos" :: _ -> `Chaos
   | _ :: "record" :: _ -> `Record
   | _ :: "scale" :: _ -> `Scale
+  | _ :: "resource" :: _ -> `Resource
   | _ -> `Standard
 
 (* `chaos quick` shrinks the sweep to CI-smoke size *)
 let chaos_quick =
   match Array.to_list Sys.argv with
   | _ :: "chaos" :: "quick" :: _ -> true
+  | _ -> false
+
+(* `resource quick` shrinks the overhead medians to CI-smoke size *)
+let resource_quick =
+  match Array.to_list Sys.argv with
+  | _ :: "resource" :: "quick" :: _ -> true
   | _ -> false
 
 (* surface the simulator's incomplete-run warnings (Sim.simulate with
@@ -792,6 +801,95 @@ let span_overhead_experiment () =
   Format.pp_print_flush fmt ();
   rows
 
+(* M.RES: wall-clock overhead of the resource recorder over spans alone.
+   Every span enter/exit additionally reads the clock plus the GC
+   counters and charges one delta — the budget is overhead% <= 5 on the
+   span-dense simulator workload, and CI gates on it (resource mode). *)
+let resource_overhead_experiment () =
+  section
+    "M.RES -- wall-clock overhead of the resource recorder over spans alone";
+  Format.fprintf fmt
+    "Both columns attach a default (spans-enabled) sink; 'resources' \
+     additionally@.attaches a fresh Congest.Resource recorder per \
+     iteration, so every span@.transition samples the clock and the GC \
+     counters. spans2 re-runs the@.spans-only batch as the noise floor. \
+     The budget is overhead%% <= 5.@.@.";
+  let reps = if resource_quick then 5 else 15 in
+  let grid = Gen.grid 8 8 in
+  let grid16 = Gen.grid 16 16 in
+  let workloads =
+    [
+      ( "weak_carve_sim/grid64",
+        2,
+        fun sink ->
+          ignore (Weakdiam.Distributed.carve ~trace:sink grid ~epsilon:0.5) );
+      (* the strong engine is span-dense but fast: run it on grid256 so
+         the batch is long enough for the median to mean something *)
+      ( "thm2.3/grid256",
+        2,
+        fun sink ->
+          let cost = Congest.Cost.create ~trace:sink () in
+          ignore (Strongdecomp.Netdecomp.strong ~cost grid16) );
+    ]
+  in
+  Format.fprintf fmt "%-24s %5s %10s %10s %10s %10s %10s@." "workload" "reps"
+    "spans(s)" "resources" "spans2(s)" "overhead%" "floor%";
+  let rows =
+    List.map
+      (fun (name, iters, exec) ->
+        let sink = Congest.Trace.sink () in
+        (* Trace.clear resets the hooks, so the spans-only batches run
+           with no recorder attached even after a resourced batch *)
+        let batch resourced () =
+          for _ = 1 to iters do
+            Congest.Trace.clear sink;
+            if resourced then Resource.attach (Resource.create ()) sink;
+            exec sink
+          done
+        in
+        batch true ();
+        batch false ();
+        (* settle the heap between batches so one column does not pay
+           the major collections of the previous column's garbage *)
+        let settle () = Gc.full_major () in
+        settle ();
+        let off = median_seconds ~reps (batch false) in
+        settle ();
+        let on = median_seconds ~reps (batch true) in
+        settle ();
+        let off2 = median_seconds ~reps (batch false) in
+        let pct a b = 100.0 *. (a -. b) /. Float.max b 1e-9 in
+        let overhead = pct on off and floor = pct off2 off in
+        Format.fprintf fmt "%-24s %5d %10.4f %10.4f %10.4f %10.2f %10.2f@."
+          name reps off on off2 overhead floor;
+        (name, reps, off, on, off2, overhead, floor))
+      workloads
+  in
+  Format.pp_print_flush fmt ();
+  rows
+
+let run_resource_only () =
+  let t0 = Unix.gettimeofday () in
+  let rows = resource_overhead_experiment () in
+  (try
+     let dir = "bench_results" in
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+     let oc = open_out (Filename.concat dir "resource_overhead.csv") in
+     output_string oc
+       "workload,reps,spans_seconds,resources_seconds,spans2_seconds,overhead_pct,floor_pct\n";
+     List.iter
+       (fun (name, reps, off, on, off2, overhead, floor) ->
+         output_string oc
+           (Printf.sprintf "%s,%d,%.6f,%.6f,%.6f,%.3f,%.3f\n" name reps off
+              on off2 overhead floor))
+       rows;
+     close_out oc;
+     Format.fprintf fmt
+       "@.CSV dump written to bench_results/resource_overhead.csv@."
+   with Sys_error e -> Format.fprintf fmt "@.(skipping CSV dump: %s)@." e);
+  Format.fprintf fmt "@.total benchmark time: %.1f s@."
+    (Unix.gettimeofday () -. t0)
+
 (* C.CONF: wall-clock cost of the model-invariant verifier's per-round
    instrumentation over a plain traced run. The always-on checks (edge
    discipline + halt monotonicity) must stay within the ~10% budget;
@@ -1208,46 +1306,68 @@ let run_chaos_only () =
 
 let trajectory_path = "BENCH_trajectory.json"
 
-(* one snapshot workload: name, rounds, messages, max bits, span phase
-   count, wall seconds *)
+(* one snapshot workload: logical costs from the trace, resource columns
+   (seconds, per-node allocation, peak heap) from a recorder attached to
+   each run's sink *)
 let record_entries () =
   let decomp name n =
     let d = Algorithms.find_decomposer name in
     let sink = Congest.Trace.sink () in
+    let res = Resource.create () in
+    Resource.attach res sink;
     let row = Measure.decomposition_row ~seed ~trace:sink d Suite.grid ~n in
-    ( Printf.sprintf "%s/grid%d" name n,
-      row.Measure.rounds,
-      row.Measure.messages,
-      row.Measure.max_message_bits,
-      List.length (Congest.Span.rollups sink),
-      row.Measure.seconds )
+    let tot = Resource.totals res in
+    {
+      Trajectory.name = Printf.sprintf "%s/grid%d" name n;
+      rounds = row.Measure.rounds;
+      messages = row.Measure.messages;
+      max_bits = row.Measure.max_message_bits;
+      phases = List.length (Congest.Span.rollups sink);
+      seconds = row.Measure.seconds;
+      minor_words_per_node =
+        tot.Resource.t_minor_words /. float_of_int n;
+      peak_heap_mb = Resource.peak_heap_mb tot;
+    }
   in
   let sim () =
     let g = Gen.grid 8 8 in
     let sink = Congest.Trace.sink () in
+    let res = Resource.create () in
+    Resource.attach res sink;
     let t0 = Unix.gettimeofday () in
     let r = Weakdiam.Distributed.carve ~trace:sink g ~epsilon:0.5 in
     let seconds = Unix.gettimeofday () -. t0 in
+    let tot = Resource.totals res in
     let s = r.Weakdiam.Distributed.sim_stats in
-    ( "weak_carve_sim/grid64",
-      s.Congest.Sim.rounds_used,
-      s.Congest.Sim.total_messages,
-      s.Congest.Sim.max_bits_seen,
-      List.length (Congest.Span.rollups sink),
-      seconds )
+    {
+      Trajectory.name = "weak_carve_sim/grid64";
+      rounds = s.Congest.Sim.rounds_used;
+      messages = s.Congest.Sim.total_messages;
+      max_bits = s.Congest.Sim.max_bits_seen;
+      phases = List.length (Congest.Span.rollups sink);
+      seconds;
+      minor_words_per_node = tot.Resource.t_minor_words /. 64.0;
+      peak_heap_mb = Resource.peak_heap_mb tot;
+    }
   in
   (* repair headline, mapped onto the snapshot shape so the >10%
      comparator guards locality and cost: rounds := touched nodes,
      messages := dirty clusters, max_bits := region edges, phases :=
      fresh clusters, seconds := repair wall time *)
   let repair_entry () =
+    let res = Resource.create () in
     let rep, region_edges, _scratch = repair_trial ~trial:1 in
-    ( "repair/greedy_grid256",
-      rep.Repair.touched_nodes,
-      rep.Repair.dirty_clusters,
-      region_edges,
-      rep.Repair.fresh_clusters,
-      rep.Repair.seconds )
+    let tot = Resource.totals res in
+    {
+      Trajectory.name = "repair/greedy_grid256";
+      rounds = rep.Repair.touched_nodes;
+      messages = rep.Repair.dirty_clusters;
+      max_bits = region_edges;
+      phases = rep.Repair.fresh_clusters;
+      seconds = rep.Repair.seconds;
+      minor_words_per_node = tot.Resource.t_minor_words /. 256.0;
+      peak_heap_mb = Resource.peak_heap_mb tot;
+    }
   in
   [
     decomp "thm2.3" 256;
@@ -1258,144 +1378,32 @@ let record_entries () =
     repair_entry ();
   ]
 
-let record_json entries =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf (Printf.sprintf "{\"time\":%.0f,\"workloads\":[" (Unix.time ()));
-  List.iteri
-    (fun i (name, rounds, messages, max_bits, phases, seconds) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":%S,\"rounds\":%d,\"messages\":%d,\"max_bits\":%d,\"phases\":%d,\"seconds\":%.4f}"
-           name rounds messages max_bits phases seconds))
-    entries;
-  Buffer.add_string buf "]}";
-  Buffer.contents buf
-
-(* the trajectory file is a JSON array with exactly one snapshot object
-   per line, so appending = collect the '{'-lines and rewrite *)
-let read_snapshot_lines path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let lines = ref [] in
-    (try
-       while true do
-         let line = String.trim (input_line ic) in
-         if String.length line > 0 && line.[0] = '{' then begin
-           let line =
-             if line.[String.length line - 1] = ',' then
-               String.sub line 0 (String.length line - 1)
-             else line
-           in
-           lines := line :: !lines
-         end
-       done
-     with End_of_file -> ());
-    close_in ic;
-    List.rev !lines
-  end
-
-let write_trajectory path lines =
-  let oc = open_out path in
-  output_string oc "[\n";
-  output_string oc (String.concat ",\n" lines);
-  output_string oc "\n]\n";
-  close_out oc
-
-(* just enough JSON scanning for our own one-line snapshots: the
-   workload objects are flat, so each runs from a {"name": marker to the
-   next '}' *)
-let index_of_sub s pos sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i =
-    if i + m > n then None
-    else if String.sub s i m = sub then Some i
-    else go (i + 1)
-  in
-  go pos
-
-let workload_objs line =
-  let rec go pos acc =
-    match index_of_sub line pos "{\"name\":" with
-    | None -> List.rev acc
-    | Some i -> (
-        match String.index_from_opt line i '}' with
-        | None -> List.rev acc
-        | Some j -> go (j + 1) (String.sub line i (j - i + 1) :: acc))
-  in
-  go 0 []
-
-let str_field field obj =
-  match index_of_sub obj 0 ("\"" ^ field ^ "\":\"") with
-  | None -> None
-  | Some i -> (
-      let start = i + String.length field + 4 in
-      match String.index_from_opt obj start '"' with
-      | None -> None
-      | Some j -> Some (String.sub obj start (j - start)))
-
-let num_field field obj =
-  match index_of_sub obj 0 ("\"" ^ field ^ "\":") with
-  | None -> None
-  | Some i ->
-      let start = i + String.length field + 3 in
-      let j = ref start in
-      let len = String.length obj in
-      while
-        !j < len
-        && (match obj.[!j] with
-           | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
-           | _ -> false)
-      do
-        incr j
-      done;
-      float_of_string_opt (String.sub obj start (!j - start))
-
 (* prints one "regression: ..." line per >10% metric increase; CI greps
    for the prefix and surfaces them as non-blocking warnings *)
 let compare_snapshots ~old_line ~new_line =
-  let olds = workload_objs old_line and news = workload_objs new_line in
-  let flagged = ref 0 in
+  let regs = Trajectory.compare_lines ~old_line ~new_line () in
   List.iter
-    (fun nobj ->
-      match str_field "name" nobj with
-      | None -> ()
-      | Some name -> (
-          match
-            List.find_opt (fun o -> str_field "name" o = Some name) olds
-          with
-          | None -> ()
-          | Some oobj ->
-              List.iter
-                (fun metric ->
-                  match (num_field metric oobj, num_field metric nobj) with
-                  | Some ov, Some nv when ov > 0.0 && nv > ov *. 1.10 ->
-                      incr flagged;
-                      Format.fprintf fmt
-                        "regression: %s %s: %g -> %g (+%.1f%%)@." name metric
-                        ov nv
-                        (100.0 *. (nv -. ov) /. ov)
-                  | _ -> ())
-                [ "rounds"; "messages"; "max_bits"; "seconds" ]))
-    news;
-  !flagged
+    (fun r -> Format.fprintf fmt "%s@." (Trajectory.regression_line r))
+    regs;
+  List.length regs
 
 let run_record_only () =
   let t0 = Unix.gettimeofday () in
   section
     "B.RECORD -- headline-metrics snapshot appended to BENCH_trajectory.json";
   let entries = record_entries () in
-  Format.fprintf fmt "%-24s %10s %10s %8s %7s %9s@." "workload" "rounds"
-    "messages" "maxbits" "phases" "seconds";
+  Format.fprintf fmt "%-24s %10s %10s %8s %7s %9s %12s %8s@." "workload"
+    "rounds" "messages" "maxbits" "phases" "seconds" "minorW/node" "peakMB";
   List.iter
-    (fun (name, rounds, messages, max_bits, phases, seconds) ->
-      Format.fprintf fmt "%-24s %10d %10d %8d %7d %9.3f@." name rounds
-        messages max_bits phases seconds)
+    (fun e ->
+      Format.fprintf fmt "%-24s %10d %10d %8d %7d %9.3f %12.0f %8.1f@."
+        e.Trajectory.name e.Trajectory.rounds e.Trajectory.messages
+        e.Trajectory.max_bits e.Trajectory.phases e.Trajectory.seconds
+        e.Trajectory.minor_words_per_node e.Trajectory.peak_heap_mb)
     entries;
-  let line = record_json entries in
-  let prev = read_snapshot_lines trajectory_path in
-  write_trajectory trajectory_path (prev @ [ line ]);
+  let line = Trajectory.snapshot_json ~time:(Unix.time ()) entries in
+  let prev = Trajectory.read_snapshot_lines trajectory_path in
+  Trajectory.write trajectory_path (prev @ [ line ]);
   Format.fprintf fmt "@.appended snapshot %d to %s@."
     (List.length prev + 1)
     trajectory_path;
@@ -1427,7 +1435,11 @@ let run_scale_only () =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let csr_path = Filename.concat dir "rmat1M.csr" in
   let spill_path = Filename.concat dir "rmat1M.trace" in
+  (* the ~90 s pipeline used to run completely dark: a process-lifetime
+     recorder now pulses phase/elapsed/peak-heap to stderr per stage *)
+  let res = Resource.create () in
   let timed name f =
+    Resource.heartbeat res name;
     let s0 = Unix.gettimeofday () in
     let x = f () in
     let dt = Unix.gettimeofday () -. s0 in
@@ -1448,9 +1460,13 @@ let run_scale_only () =
   let sink = Congest.Trace.sink ~capacity:4_096 ~spill:spill_path () in
   let cost = Congest.Cost.create ~trace:sink () in
   let algo = Algorithms.find_decomposer "greedy" in
+  (* a second recorder windowed to the decomposition alone, so the scale
+     row's resource columns cover the engine, not the generator *)
+  let dec_res = Resource.create () in
   let dec, dec_s =
     timed "decompose" (fun () -> algo.Algorithms.run ~cost ~seed g)
   in
+  let dec_tot = Resource.totals dec_res in
   let colors = Cluster.Decomposition.num_colors dec in
   let clusters =
     Cluster.Clustering.num_clusters (Cluster.Decomposition.clustering dec)
@@ -1467,16 +1483,21 @@ let run_scale_only () =
   | Error e -> Format.fprintf fmt "@.audit: FAIL (%s)@." e);
   (* the scale row rides the same snapshot machinery as 'record' *)
   let entry =
-    ( "scale/rmat1M",
-      Congest.Cost.rounds cost,
-      Congest.Cost.messages cost,
-      Congest.Cost.max_message_bits cost,
-      phases,
-      dec_s )
+    {
+      Trajectory.name = "scale/rmat1M";
+      rounds = Congest.Cost.rounds cost;
+      messages = Congest.Cost.messages cost;
+      max_bits = Congest.Cost.max_message_bits cost;
+      phases;
+      seconds = dec_s;
+      minor_words_per_node =
+        dec_tot.Resource.t_minor_words /. float_of_int scale_n;
+      peak_heap_mb = Resource.peak_heap_mb dec_tot;
+    }
   in
-  let line = record_json [ entry ] in
-  let prev = read_snapshot_lines trajectory_path in
-  write_trajectory trajectory_path (prev @ [ line ]);
+  let line = Trajectory.snapshot_json ~time:(Unix.time ()) [ entry ] in
+  let prev = Trajectory.read_snapshot_lines trajectory_path in
+  Trajectory.write trajectory_path (prev @ [ line ]);
   Format.fprintf fmt "appended scale snapshot %d to %s@."
     (List.length prev + 1)
     trajectory_path;
@@ -1508,6 +1529,7 @@ let run_scale_only () =
   (* the spill and the 170 MB graph image are scratch, not artifacts *)
   Congest.Trace.clear sink;
   if Sys.file_exists csr_path then Sys.remove csr_path;
+  Resource.heartbeat res "done";
   Format.fprintf fmt "@.total benchmark time: %.1f s@."
     (Unix.gettimeofday () -. t0);
   if verdict <> Ok () then exit 1
@@ -1538,7 +1560,8 @@ let () =
      analyzer replay cost, 'chaos' for the@.self-healing sweep and the \
      repair-cost headline ('chaos quick' for a smoke),@.'record' to append \
      a headline snapshot to the persistent BENCH_trajectory.json,@.'scale' \
-     for the million-node CSR end-to-end smoke)@."
+     for the million-node CSR end-to-end smoke, 'resource' for the@.resource-\
+     recorder overhead experiment)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
@@ -1549,7 +1572,8 @@ let () =
     | `Causal -> "causal"
     | `Chaos -> if chaos_quick then "chaos (quick)" else "chaos"
     | `Record -> "record"
-    | `Scale -> "scale");
+    | `Scale -> "scale"
+    | `Resource -> "resource");
   if mode = `Faults then run_faults_only ()
   else if mode = `Trace then run_trace_only ()
   else if mode = `Conform then run_conform_only ()
@@ -1557,6 +1581,7 @@ let () =
   else if mode = `Chaos then run_chaos_only ()
   else if mode = `Record then run_record_only ()
   else if mode = `Scale then run_scale_only ()
+  else if mode = `Resource then run_resource_only ()
   else begin
   let t0 = Unix.gettimeofday () in
   let rows1 = table1 () in

@@ -71,17 +71,21 @@ type sink = {
   mutable tags : string array;
   mutable ntags : int;
   tag_index : (string, int) Hashtbl.t;
-  (* span bookkeeping; paths share the tag intern table. Wall-clock times
-     are kept OUT of the event stream (side tables below) so traces of
-     identical runs stay byte-identical. *)
+  (* span bookkeeping; paths share the tag intern table. Wall-clock and
+     GC attribution live entirely in an attached [Resource.t] (the hooks
+     below), never in the event stream, so traces of identical runs stay
+     byte-identical whether or not a recorder is attached. *)
   spans_enabled : bool;
   mutable span_stack : int array;  (* interned full-path ids, open frames *)
-  mutable span_t0 : float array;  (* gettimeofday at enter, per frame *)
-  mutable span_child : float array;  (* child inclusive seconds, per frame *)
   mutable span_depth : int;
-  span_self : (int, float) Hashtbl.t;  (* path id -> self seconds *)
-  span_incl : (int, float) Hashtbl.t;  (* path id -> inclusive seconds *)
+  mutable hook_enter : int -> unit;  (* path id, after the frame opens *)
+  mutable hook_exit : int -> unit;  (* path id, before the frame closes *)
+  mutable hook_seconds : unit -> (string * float * float) list;
 }
+
+let no_enter (_ : int) = ()
+let no_exit (_ : int) = ()
+let no_seconds () = []
 
 (* kind codes; [decode] below is the single reader *)
 let k_round_start = 0
@@ -121,11 +125,10 @@ let sink ?(capacity = 1_000_000) ?(spans = true) ?spill () =
     tag_index = Hashtbl.create 8;
     spans_enabled = spans;
     span_stack = [||];
-    span_t0 = [||];
-    span_child = [||];
     span_depth = 0;
-    span_self = Hashtbl.create 8;
-    span_incl = Hashtbl.create 8;
+    hook_enter = no_enter;
+    hook_exit = no_exit;
+    hook_seconds = no_seconds;
   }
 
 let grow s off =
@@ -215,24 +218,19 @@ let tag_id s tag =
       Hashtbl.add s.tag_index tag i;
       i
 
-(* Spans. [enter_span]/[exit_span] maintain the open-frame stack and the
-   wall-clock side tables, and record packed Span_enter/Span_exit events
-   carrying the interned full path (parent-path ^ "/" ^ segment). The
-   stack push/pop happens even when the event itself is dropped at
-   capacity, so instrumentation stays balanced. *)
+(* Spans. [enter_span]/[exit_span] maintain the open-frame stack and
+   record packed Span_enter/Span_exit events carrying the interned full
+   path (parent-path ^ "/" ^ segment). The stack push/pop happens even
+   when the event itself is dropped at capacity, so instrumentation
+   stays balanced. Timing is delegated to the hooks — no-ops unless a
+   [Resource.t] is attached. *)
 
 let ensure_frame s d =
   if d = Array.length s.span_stack then begin
     let cap = max 8 (2 * d) in
-    let stack = Array.make cap 0
-    and t0 = Array.make cap 0.0
-    and child = Array.make cap 0.0 in
+    let stack = Array.make cap 0 in
     Array.blit s.span_stack 0 stack 0 d;
-    Array.blit s.span_t0 0 t0 0 d;
-    Array.blit s.span_child 0 child 0 d;
-    s.span_stack <- stack;
-    s.span_t0 <- t0;
-    s.span_child <- child
+    s.span_stack <- stack
   end
 
 let set_span s k pid =
@@ -256,15 +254,10 @@ let enter_span s name =
     let pid = tag_id s path in
     ensure_frame s d;
     s.span_stack.(d) <- pid;
-    s.span_t0.(d) <- Unix.gettimeofday ();
-    s.span_child.(d) <- 0.0;
     s.span_depth <- d + 1;
-    set_span s k_span_enter pid
+    set_span s k_span_enter pid;
+    s.hook_enter pid
   end
-
-let accumulate tbl pid dt =
-  let prev = match Hashtbl.find_opt tbl pid with Some v -> v | None -> 0.0 in
-  Hashtbl.replace tbl pid (prev +. dt)
 
 let exit_span s =
   if s.spans_enabled then begin
@@ -272,27 +265,20 @@ let exit_span s =
     if d < 0 then
       invalid_arg "Trace.exit_span: unbalanced exit (no span is open)";
     let pid = s.span_stack.(d) in
-    let dt = Unix.gettimeofday () -. s.span_t0.(d) in
-    let self = Float.max 0.0 (dt -. s.span_child.(d)) in
-    accumulate s.span_incl pid dt;
-    accumulate s.span_self pid self;
-    if d > 0 then s.span_child.(d - 1) <- s.span_child.(d - 1) +. dt;
+    s.hook_exit pid;
     s.span_depth <- d;
     set_span s k_span_exit pid
   end
 
 let span_depth s = s.span_depth
 let spans_enabled s = s.spans_enabled
+let span_path s pid = s.tags.(pid)
+let span_seconds s = s.hook_seconds ()
 
-let span_seconds s =
-  Hashtbl.fold
-    (fun pid incl acc ->
-      let self =
-        match Hashtbl.find_opt s.span_self pid with Some v -> v | None -> 0.0
-      in
-      (s.tags.(pid), self, incl) :: acc)
-    s.span_incl []
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+let set_span_hooks s ~enter ~exit ~seconds =
+  s.hook_enter <- enter;
+  s.hook_exit <- exit;
+  s.hook_seconds <- seconds
 
 let record s ev =
   let off = slot s in
@@ -435,8 +421,11 @@ let clear s =
   s.ntags <- 0;
   Hashtbl.reset s.tag_index;
   s.span_depth <- 0;
-  Hashtbl.reset s.span_self;
-  Hashtbl.reset s.span_incl;
+  (* path interning restarts, so an attached recorder's id-keyed tables
+     would be stale: detach and require a fresh [Resource.attach] *)
+  s.hook_enter <- no_enter;
+  s.hook_exit <- no_exit;
+  s.hook_seconds <- no_seconds;
   match s.spill with
   | None -> ()
   | Some sp ->

@@ -99,24 +99,42 @@ val enter_span : sink -> string -> unit
 (** Opens a phase named by one path segment; the recorded
     {!constructor-Span_enter} carries the full path (the open ancestors
     joined with ["/"]). Paths are interned in the same side table as
-    cost tags, so recording is packed-int like every other event. The
-    wall clock is read here but kept in sink-local side tables, not the
-    event stream. Most callers want {!Span.enter}, which takes the
-    [sink option] the run configuration carries. *)
+    cost tags, so recording is packed-int like every other event. No
+    clock is read here: wall-time/GC attribution happens only when a
+    {!Resource.t} is attached via {!set_span_hooks}, and stays out of
+    the event stream either way. Most callers want {!Span.enter}, which
+    takes the [sink option] the run configuration carries. *)
 
 val exit_span : sink -> unit
-(** Closes the innermost open span, folding its elapsed wall time into
-    {!span_seconds}. @raise Invalid_argument when no span is open. *)
+(** Closes the innermost open span.
+    @raise Invalid_argument when no span is open. *)
 
 val span_depth : sink -> int
 (** Number of currently open spans. *)
 
 val spans_enabled : sink -> bool
 
+val span_path : sink -> int -> string
+(** Resolves an interned span path id (as passed to the hooks) back to
+    the full ["/"]-joined path. *)
+
+val set_span_hooks :
+  sink ->
+  enter:(int -> unit) ->
+  exit:(int -> unit) ->
+  seconds:(unit -> (string * float * float) list) ->
+  unit
+(** Registers span observers: [enter]/[exit] fire from
+    {!enter_span}/{!exit_span} with the interned path id, and [seconds]
+    serves {!span_seconds}. Installed by {!Resource.attach}; reset to
+    no-ops by {!clear} (path ids restart, so an attached recorder would
+    go stale). *)
+
 val span_seconds : sink -> (string * float * float) list
 (** [(path, self, inclusive)] wall seconds accumulated over all closed
-    activations of each span path, sorted by path. Self excludes time
-    spent in child spans; inclusive is enter-to-exit. *)
+    activations of each span path, sorted by path — served by the
+    attached {!Resource.t}, or [[]] when none is attached. Self
+    excludes time spent in child spans; inclusive is enter-to-exit. *)
 
 val length : sink -> int
 

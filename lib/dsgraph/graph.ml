@@ -225,35 +225,6 @@ let of_csr_unchecked ~n ~m ~offsets ~targets =
     invalid_arg "Graph.of_csr_unchecked: inconsistent offsets";
   { n; m; offsets; targets; edge_offset = None }
 
-(* deprecated list-shaped constructors (shims for one PR; see mli) *)
-
-let create ~n ~edges =
-  if n < 0 then invalid_arg "Graph.create: negative n";
-  let b = Builder.create ~n in
-  List.iter
-    (fun (u, v) ->
-      if u < 0 || u >= n || v < 0 || v >= n then
-        invalid_arg "Graph.create: endpoint out of range";
-      if u = v then invalid_arg "Graph.create: self-loop";
-      Builder.add_edge b u v)
-    edges;
-  Builder.build b
-
-let of_adj raw =
-  let nn = Array.length raw in
-  let b = Builder.create ~n:nn in
-  Array.iteri
-    (fun u nbrs ->
-      Array.iter
-        (fun v ->
-          if v < 0 || v >= nn then
-            invalid_arg "Graph.of_adj: endpoint out of range";
-          if v = u then invalid_arg "Graph.of_adj: self-loop";
-          Builder.add_edge b u v)
-        nbrs)
-    raw;
-  Builder.build b
-
 let is_edge t u v =
   let rec search lo hi =
     if lo >= hi then false
@@ -279,8 +250,6 @@ let fold_edges t ~init ~f =
   let acc = ref init in
   iter_edges t (fun u v -> acc := f !acc u v);
   !acc
-
-let edges t = List.rev (fold_edges t ~init:[] ~f:(fun acc u v -> (u, v) :: acc))
 
 let edge_offset t =
   match t.edge_offset with

@@ -42,21 +42,6 @@ val of_edge_seq : n:int -> (int * int) Seq.t -> t
 val edges_seq : t -> (int * int) Seq.t
 (** All edges with [u < v], in lexicographic order, produced lazily. *)
 
-val create : n:int -> edges:(int * int) list -> t
-[@@ocaml.deprecated
-  "materializes an edge list; use Graph.Builder / Graph.of_edge_seq. \
-   This shim is removed next PR."]
-(** [create ~n ~edges] builds a graph on nodes [0..n-1]. Self-loops are
-    rejected; duplicate edges (in either orientation) are merged.
-    @raise Invalid_argument on out-of-range endpoints or self-loops. *)
-
-val of_adj : int array array -> t
-[@@ocaml.deprecated
-  "materializes adjacency arrays; use Graph.Builder / Graph.of_edge_seq. \
-   This shim is removed next PR."]
-(** [of_adj adj] builds a graph from adjacency lists. The lists are
-    symmetrized, sorted and deduplicated. *)
-
 val of_csr_unchecked :
   n:int -> m:int -> offsets:int_array1 -> targets:int_array1 -> t
 (** Wraps raw CSR buffers without validating sortedness or symmetry —
@@ -100,12 +85,6 @@ val iter_edges : t -> (int -> int -> unit) -> unit
 (** Iterates each undirected edge once, with [u < v]. *)
 
 val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
-
-val edges : t -> (int * int) list
-[@@ocaml.deprecated
-  "materializes an edge list; use Graph.edges_seq / Graph.iter_edges. \
-   This shim is removed next PR."]
-(** All edges with [u < v], in lexicographic order. *)
 
 val edge_index : t -> int * int -> int
 (** [edge_index g (u, v)] is a dense index in [0 .. m-1] identifying the

@@ -156,7 +156,7 @@ let start sp g =
 (* from-scratch baseline: same engine on the survivor subgraph,
    including certification — the cost a repair is competing against *)
 let scratch sp ~recarve ~seed post domain =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Congest.Resource.now () in
   let sub, _back = Subgraph.induce post domain in
   let labels, lcolors = recarve ~seed sub in
   let cl = Cluster.Clustering.make sub ~cluster_of:labels in
@@ -181,7 +181,7 @@ let scratch sp ~recarve ~seed post domain =
     && (kind_of sp.algo = Audit.Carving
        || Cluster.Clustering.clustered_count cl = Graph.n sub)
   in
-  (Unix.gettimeofday () -. t0, valid)
+  (Congest.Resource.now () -. t0, valid)
 
 (* ------------------------------------------------------------------ *)
 (* The detect -> repair -> re-audit loop                               *)

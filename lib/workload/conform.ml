@@ -30,7 +30,7 @@ let cost_totals cost =
   ]
 
 let timed_row ~target ~family_name ~n ~adversarial mk_report =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Congest.Resource.now () in
   let report = mk_report () in
   {
     target;
@@ -38,7 +38,7 @@ let timed_row ~target ~family_name ~n ~adversarial mk_report =
     n;
     adversarial;
     report;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Congest.Resource.now () -. t0;
   }
 
 let decomposer_row ?(seed = 42) (d : Algorithms.decomposer) family ~n =

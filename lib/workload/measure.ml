@@ -43,9 +43,9 @@ let decomposition_result ?(seed = 42) ?trace (d : Algorithms.decomposer)
     family ~n : decomp_row * Cluster.Decomposition.t * Graph.t =
   let g = family.Suite.build ~seed ~n in
   let cost = Congest.Cost.create ?trace () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Congest.Resource.now () in
   let decomp = d.run ~cost ~seed g in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Congest.Resource.now () -. t0 in
   let clustering = Cluster.Decomposition.clustering decomp in
   let colors = Cluster.Decomposition.num_colors decomp in
   let strong_diameter =
@@ -89,9 +89,9 @@ let carving_result ?(seed = 42) ?trace (c : Algorithms.carver) family ~n
     ~epsilon : carve_row * Cluster.Carving.t * Graph.t =
   let g = family.Suite.build ~seed ~n in
   let cost = Congest.Cost.create ?trace () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Congest.Resource.now () in
   let carving = c.run ~cost ~seed g ~epsilon in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Congest.Resource.now () -. t0 in
   let clustering = carving.Cluster.Carving.clustering in
   let strong_diameter =
     diameter_opt (Cluster.Clustering.max_strong_diameter_estimate clustering)

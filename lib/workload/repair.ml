@@ -60,7 +60,7 @@ let certs_by_id audit k =
   a
 
 let repair ?(halo = 0) ~recarve session d =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Congest.Resource.now () in
   let st = CR.step session.state d in
   let k_old = Cluster.Clustering.num_clusters session.clustering in
   let weak =
@@ -164,7 +164,7 @@ let repair ?(halo = 0) ~recarve session d =
         float_of_int m.CR.touched_nodes /. float_of_int (max 1 survivor_count);
       fresh_clusters = List.length m.CR.fresh;
       carried_clusters = List.length carried;
-      seconds = Unix.gettimeofday () -. t0;
+      seconds = Congest.Resource.now () -. t0;
       cert;
     } )
 

@@ -19,6 +19,8 @@ type t = {
   truncated : int;
   metrics : Congest.Metrics.t;
   rollups : Congest.Span.rollup list;
+  res_rollups : Congest.Resource.rollup list;
+  res_totals : Congest.Resource.totals;
   causal : Congest.Causal.t;
   span_slack : Congest.Causal.span_slack list;
   audit : Audit.t;
@@ -27,11 +29,13 @@ type t = {
 
 let assemble ~algo ~reference ~family ~n ~m ~seed ~epsilon ~colors
     ~strong_diameter ~weak_diameter ~dead_fraction ~rounds ~messages
-    ~max_message_bits ~valid ~seconds ~sink ~audit ~graph =
+    ~max_message_bits ~valid ~seconds ~sink ~resource ~audit ~graph =
+  let res_rollups, res_totals = Congest.Resource.snapshot resource in
   let metrics = Congest.Metrics.of_trace sink in
   let metrics = Congest.Metrics.of_spans ~into:metrics sink in
   let causal = Congest.Causal.analyze sink in
   let metrics = Congest.Causal.metrics ~into:metrics causal in
+  let metrics = Congest.Resource.metrics ~into:metrics resource in
   {
     algo;
     reference;
@@ -53,6 +57,8 @@ let assemble ~algo ~reference ~family ~n ~m ~seed ~epsilon ~colors
     truncated = Congest.Trace.truncated sink;
     metrics;
     rollups = Congest.Span.rollups sink;
+    res_rollups;
+    res_totals;
     causal;
     span_slack = Congest.Causal.span_breakdown sink causal;
     audit;
@@ -61,6 +67,8 @@ let assemble ~algo ~reference ~family ~n ~m ~seed ~epsilon ~colors
 
 let of_decomposer ?(seed = 42) (d : Algorithms.decomposer) family ~n =
   let sink = Congest.Trace.sink ~spans:true () in
+  let resource = Congest.Resource.create () in
+  Congest.Resource.attach resource sink;
   let row, decomp, graph =
     Measure.decomposition_result ~seed ~trace:sink d family ~n
   in
@@ -71,13 +79,15 @@ let of_decomposer ?(seed = 42) (d : Algorithms.decomposer) family ~n =
     ~weak_diameter:row.Measure.weak_diameter ~dead_fraction:None
     ~rounds:row.Measure.rounds ~messages:row.Measure.messages
     ~max_message_bits:row.Measure.max_message_bits ~valid:row.Measure.valid
-    ~seconds:row.Measure.seconds ~sink
+    ~seconds:row.Measure.seconds ~sink ~resource
     ~audit:(Audit.certify_decomposition decomp)
     ~graph
 
 let of_carver ?(seed = 42) ?(epsilon = 0.25) (c : Algorithms.carver) family ~n
     =
   let sink = Congest.Trace.sink ~spans:true () in
+  let resource = Congest.Resource.create () in
+  Congest.Resource.attach resource sink;
   let row, carving, graph =
     Measure.carving_result ~seed ~trace:sink c family ~n ~epsilon
   in
@@ -93,7 +103,7 @@ let of_carver ?(seed = 42) ?(epsilon = 0.25) (c : Algorithms.carver) family ~n
     ~weak_diameter:row.Measure.weak_diameter
     ~dead_fraction:(Some row.Measure.dead_fraction) ~rounds:row.Measure.rounds
     ~messages ~max_message_bits:row.Measure.max_message_bits
-    ~valid:row.Measure.valid ~seconds:row.Measure.seconds ~sink
+    ~valid:row.Measure.valid ~seconds:row.Measure.seconds ~sink ~resource
     ~audit:(Audit.certify_carving carving)
     ~graph
 
@@ -127,7 +137,11 @@ let to_markdown t =
   add "| max message bits | %d |\n" t.max_message_bits;
   add "| checker verdict | %s |\n" (if t.valid then "ok" else "FAIL");
   add "| certificate audit | %s |\n" (verdict_cell t.audit_verdict);
-  add "| wall seconds | %.3f |\n\n" t.seconds;
+  add "| wall seconds | %.3f |\n" t.seconds;
+  add "| minor words | %.0f |\n" t.res_totals.Congest.Resource.t_minor_words;
+  add "| major words | %.0f |\n" t.res_totals.Congest.Resource.t_major_words;
+  add "| peak heap MB | %.1f |\n\n"
+    (Congest.Resource.peak_heap_mb t.res_totals);
   add "## Causal critical path\n\n";
   add "%s\n\n" (Format.asprintf "%a" Congest.Causal.pp t.causal);
   let c = t.causal in
@@ -169,6 +183,13 @@ let to_markdown t =
   (if t.rollups <> [] then begin
      add "## Phase rollups\n\n```\n%s```\n\n"
        (Format.asprintf "%a" Congest.Span.pp_rollups t.rollups)
+   end);
+  (if t.res_rollups <> [] then begin
+     add "## Resource profile\n\n";
+     add
+       "Wall-clock and GC attribution per span (self values sum to the \
+        process totals; \"(unspanned)\" absorbs time outside any span).\n\n";
+     add "```\n%s```\n\n" (Congest.Resource.csv t.res_rollups)
    end);
   add "## Metrics\n\n```\n%s```\n\n"
     (Format.asprintf "%a" Congest.Metrics.pp t.metrics);
@@ -260,6 +281,27 @@ let to_json t =
               r.Congest.Span.bits_incl r.Congest.Span.max_message_bits
               r.Congest.Span.seconds r.Congest.Span.seconds_incl)
           t.rollups));
+  let tot = t.res_totals in
+  add
+    "\"resources\":{\"seconds\":%.6f,\"minor_words\":%.0f,\"promoted_words\":%.0f,\"major_words\":%.0f,\"major_collections\":%d,\"peak_heap_mb\":%.3f,\"rollups\":[%s]},"
+    tot.Congest.Resource.t_seconds tot.Congest.Resource.t_minor_words
+    tot.Congest.Resource.t_promoted_words tot.Congest.Resource.t_major_words
+    tot.Congest.Resource.t_major_collections
+    (Congest.Resource.peak_heap_mb tot)
+    (String.concat ","
+       (List.map
+          (fun (r : Congest.Resource.rollup) ->
+            Printf.sprintf
+              "{\"path\":%s,\"depth\":%d,\"entries\":%d,\"seconds\":%.6f,\"seconds_incl\":%.6f,\"minor_words\":%.0f,\"minor_words_incl\":%.0f,\"major_words\":%.0f,\"major_words_incl\":%.0f,\"major_collections\":%d}"
+              (jstr r.Congest.Resource.r_path) r.Congest.Resource.r_depth
+              r.Congest.Resource.r_entries r.Congest.Resource.r_seconds
+              r.Congest.Resource.r_seconds_incl
+              r.Congest.Resource.r_minor_words
+              r.Congest.Resource.r_minor_words_incl
+              r.Congest.Resource.r_major_words
+              r.Congest.Resource.r_major_words_incl
+              r.Congest.Resource.r_major_collections)
+          t.res_rollups));
   let metric_lines =
     String.split_on_char '\n' (Congest.Metrics.to_jsonl t.metrics)
     |> List.filter (fun s -> String.trim s <> "")

@@ -8,6 +8,9 @@
     - per-phase {!Congest.Span} rollups;
     - the causal critical path and slack ({!Congest.Causal}),
       including the per-span critical/slack split;
+    - the {!Congest.Resource} side channel: per-span wall-clock and
+      GC-allocation attribution plus the process totals (peak heap,
+      minor/major words), gathered by a recorder attached for the run;
     - the per-cluster {!Audit} certificate table and the independent
       {!Audit.verify} verdict against the raw graph.
 
@@ -35,6 +38,11 @@ type t = {
   truncated : int;  (** events dropped by the sink's capacity bound *)
   metrics : Congest.Metrics.t;
   rollups : Congest.Span.rollup list;
+  res_rollups : Congest.Resource.rollup list;
+      (** per-span resource attribution, ["(unspanned)"] included *)
+  res_totals : Congest.Resource.totals;
+      (** process totals over the run window, one sample with
+          [res_rollups] so the exact-sum invariant holds between them *)
   causal : Congest.Causal.t;
   span_slack : Congest.Causal.span_slack list;
   audit : Audit.t;

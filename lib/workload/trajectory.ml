@@ -1,0 +1,158 @@
+type entry = {
+  name : string;
+  rounds : int;
+  messages : int;
+  max_bits : int;
+  phases : int;
+  seconds : float;
+  minor_words_per_node : float;
+  peak_heap_mb : float;
+}
+
+let snapshot_json ~time entries =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "{\"time\":%.0f,\"workloads\":[" time);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%S,\"rounds\":%d,\"messages\":%d,\"max_bits\":%d,\"phases\":%d,\"seconds\":%.4f,\"minor_words_per_node\":%.1f,\"peak_heap_mb\":%.1f}"
+           e.name e.rounds e.messages e.max_bits e.phases e.seconds
+           e.minor_words_per_node e.peak_heap_mb))
+    entries;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* the trajectory file is a JSON array with exactly one snapshot object
+   per line, so appending = collect the '{'-lines and rewrite *)
+let read_snapshot_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line > 0 && line.[0] = '{' then begin
+           let line =
+             if line.[String.length line - 1] = ',' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           lines := line :: !lines
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !lines
+  end
+
+let write path lines =
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" lines);
+  output_string oc "\n]\n";
+  close_out oc
+
+(* just enough JSON scanning for our own one-line snapshots: the
+   workload objects are flat, so each runs from a {"name": marker to the
+   next '}' *)
+let index_of_sub s pos sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go pos
+
+let workload_objs line =
+  let rec go pos acc =
+    match index_of_sub line pos "{\"name\":" with
+    | None -> List.rev acc
+    | Some i -> (
+        match String.index_from_opt line i '}' with
+        | None -> List.rev acc
+        | Some j -> go (j + 1) (String.sub line i (j - i + 1) :: acc))
+  in
+  go 0 []
+
+let str_field field obj =
+  match index_of_sub obj 0 ("\"" ^ field ^ "\":\"") with
+  | None -> None
+  | Some i -> (
+      let start = i + String.length field + 4 in
+      match String.index_from_opt obj start '"' with
+      | None -> None
+      | Some j -> Some (String.sub obj start (j - start)))
+
+let num_field field obj =
+  match index_of_sub obj 0 ("\"" ^ field ^ "\":") with
+  | None -> None
+  | Some i ->
+      let start = i + String.length field + 3 in
+      let j = ref start in
+      let len = String.length obj in
+      while
+        !j < len
+        && (match obj.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub obj start (!j - start))
+
+type regression = {
+  r_name : string;
+  r_metric : string;
+  r_old : float;
+  r_new : float;
+  r_pct : float;
+}
+
+let default_metrics =
+  [
+    "rounds";
+    "messages";
+    "max_bits";
+    "seconds";
+    "minor_words_per_node";
+    "peak_heap_mb";
+  ]
+
+let compare_lines ?(metrics = default_metrics) ~old_line ~new_line () =
+  let olds = workload_objs old_line and news = workload_objs new_line in
+  let flagged = ref [] in
+  List.iter
+    (fun nobj ->
+      match str_field "name" nobj with
+      | None -> ()
+      | Some name -> (
+          match
+            List.find_opt (fun o -> str_field "name" o = Some name) olds
+          with
+          | None -> ()  (* newly-added row: nothing to diff against *)
+          | Some oobj ->
+              List.iter
+                (fun metric ->
+                  match (num_field metric oobj, num_field metric nobj) with
+                  | Some ov, Some nv when ov > 0.0 && nv > ov *. 1.10 ->
+                      flagged :=
+                        {
+                          r_name = name;
+                          r_metric = metric;
+                          r_old = ov;
+                          r_new = nv;
+                          r_pct = 100.0 *. (nv -. ov) /. ov;
+                        }
+                        :: !flagged
+                  | _ -> ())
+                metrics))
+    news;
+  List.rev !flagged
+
+let regression_line r =
+  Printf.sprintf "regression: %s %s: %g -> %g (+%.1f%%)" r.r_name r.r_metric
+    r.r_old r.r_new r.r_pct

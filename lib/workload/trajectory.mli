@@ -1,0 +1,64 @@
+(** The persistent headline-metrics time series (BENCH_trajectory.json)
+    and its >10% regression comparator.
+
+    The trajectory file is a JSON array with exactly one snapshot
+    object per line: [{"time":...,"workloads":[{...},{...}]}]. Each
+    workload object carries the headline columns — logical costs
+    (rounds, messages, max_bits, phases) plus the resource columns
+    (seconds, minor_words_per_node, peak_heap_mb). [bench record]
+    appends snapshots and diffs the newest against the previous one;
+    CI greps the rendered ["regression: ..."] lines as warnings.
+
+    Extracted from bench/main.ml so the comparator's edge cases
+    (missing baseline row, newly-added row, zero baseline, resource
+    columns) are unit-testable (test/test_trajectory.ml). *)
+
+type entry = {
+  name : string;
+  rounds : int;
+  messages : int;
+  max_bits : int;
+  phases : int;  (** distinct span paths seen *)
+  seconds : float;
+  minor_words_per_node : float;
+      (** minor-heap allocation divided by workload node count — the
+          per-node allocation pressure the hot-path work must drive
+          down *)
+  peak_heap_mb : float;  (** process peak-heap watermark, MB *)
+}
+
+val snapshot_json : time:float -> entry list -> string
+(** One snapshot line (no trailing newline). [time] is the caller's
+    epoch timestamp — this module never reads the clock. *)
+
+val read_snapshot_lines : string -> string list
+(** The '{'-prefixed snapshot lines of a trajectory file, oldest first;
+    [[]] when the file does not exist. *)
+
+val write : string -> string list -> unit
+(** Rewrites the file as a JSON array, one snapshot per line. *)
+
+type regression = {
+  r_name : string;
+  r_metric : string;
+  r_old : float;
+  r_new : float;
+  r_pct : float;  (** percentage increase over the baseline *)
+}
+
+val default_metrics : string list
+(** ["rounds"; "messages"; "max_bits"; "seconds";
+    "minor_words_per_node"; "peak_heap_mb"] — [phases] is
+    informational, not gated. *)
+
+val compare_lines :
+  ?metrics:string list -> old_line:string -> new_line:string -> unit -> regression list
+(** Every metric of every workload present in both snapshots that grew
+    by strictly more than 10%. Workloads missing from the baseline
+    (newly added rows), metrics missing from either side (e.g. a
+    baseline predating the resource columns), and zero or negative
+    baseline values are all skipped, never flagged. *)
+
+val regression_line : regression -> string
+(** ["regression: <name> <metric>: <old> -> <new> (+<pct>%)"] — the
+    exact shape CI greps for. *)

@@ -1,0 +1,18 @@
+(* Deliberate wallclock violations: engine-side code observing real time
+   and allocator state, which deterministic replay forbids outside
+   Congest.Resource and bench/. The lint test asserts every read below is
+   flagged. Never built — kept out of any dune stanza on purpose. *)
+
+let stamp () = Unix.gettimeofday ()
+let epoch () = Unix.time ()
+let cpu () = Sys.time ()
+
+let pressure () =
+  let words = Gc.minor_words () in
+  let st = Stdlib.Gc.quick_stat () in
+  words +. st.Stdlib.Gc.major_words
+
+(* aliasing the module does not launder the read *)
+module G = Gc
+
+let squeeze () = G.compact ()

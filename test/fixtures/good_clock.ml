@@ -1,0 +1,19 @@
+(* Clean counterpart to bad_clock.ml: wall-clock through the sanctioned
+   Congest.Resource.now timebase and allocator pressure through an
+   attached recorder — no direct clock or GC reads anywhere. Never
+   built. *)
+
+let timed f =
+  let t0 = Congest.Resource.now () in
+  let x = f () in
+  (x, Congest.Resource.now () -. t0)
+
+let pressure res =
+  let tot = Congest.Resource.totals res in
+  tot.Congest.Resource.t_minor_words
+
+let profile_run sink res f =
+  Congest.Resource.attach res sink;
+  let x, seconds = timed f in
+  let rollups, totals = Congest.Resource.snapshot res in
+  (x, seconds, rollups, totals)

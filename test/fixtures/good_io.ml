@@ -1,6 +1,6 @@
 (* Clean counterpart to bad_io.ml: graph persistence through Dsgraph.Io,
-   stdlib channels for text, and non-file Unix calls (clocks) are allowed
-   anywhere. Never built. *)
+   stdlib channels for text, and the sanctioned Congest.Resource.now
+   timebase instead of raw clock reads. Never built. *)
 
 let save_graph path g = Dsgraph.Io.save_csr path g
 let load_graph path = Dsgraph.Io.load_csr ~verify:true path
@@ -11,6 +11,6 @@ let save_report path lines =
   close_out oc
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Congest.Resource.now () in
   let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+  (x, Congest.Resource.now () -. t0)

@@ -91,33 +91,6 @@ let test_edge_index_distinct () =
       check int "orientation independent" i (Graph.edge_index g (v, u)));
   check int "count" (Graph.m g) (Hashtbl.length seen)
 
-(* The list-shaped constructors are deprecated shims kept for exactly one
-   PR; this module checks they still behave (and validate) until removal. *)
-module Shims = struct
-  [@@@alert "-deprecated"]
-
-  let test_of_adj_symmetrizes () =
-    let g = Graph.of_adj [| [| 1 |]; [||]; [| 1 |] |] in
-    check bool "0-1" true (Graph.is_edge g 0 1);
-    check bool "1-2" true (Graph.is_edge g 1 2);
-    check int "m" 2 (Graph.m g)
-
-  let test_create_shim () =
-    let g = Graph.create ~n:3 ~edges:[ (2, 1); (0, 1) ] in
-    check int "m" 2 (Graph.m g);
-    Alcotest.(check (list (pair int int)))
-      "edges list" [ (0, 1); (1, 2) ] (Graph.edges g);
-    Alcotest.check_raises "self loop"
-      (Invalid_argument "Graph.create: self-loop") (fun () ->
-        ignore (Graph.create ~n:3 ~edges:[ (1, 1) ]));
-    Alcotest.check_raises "range"
-      (Invalid_argument "Graph.create: endpoint out of range") (fun () ->
-        ignore (Graph.create ~n:3 ~edges:[ (0, 3) ]))
-end
-
-let test_of_adj_symmetrizes = Shims.test_of_adj_symmetrizes
-let test_create_shim = Shims.test_create_shim
-
 let test_equal () =
   let a = Gen.cycle 5 and b = Gen.cycle 5 and c = Gen.path 5 in
   check bool "equal" true (Graph.equal a b);
@@ -590,10 +563,8 @@ let () =
           Alcotest.test_case "edges ordered" `Quick test_edges_ordered;
           Alcotest.test_case "edge_index distinct" `Quick
             test_edge_index_distinct;
-          Alcotest.test_case "of_adj symmetrizes" `Quick test_of_adj_symmetrizes;
           Alcotest.test_case "builder incremental" `Quick
             test_builder_incremental;
-          Alcotest.test_case "deprecated create shim" `Quick test_create_shim;
           Alcotest.test_case "equal" `Quick test_equal;
         ] );
       ( "gen",

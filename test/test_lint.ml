@@ -132,6 +132,26 @@ let test_good_io_fixture () =
   check int "Io-mediated persistence lints clean" 0
     (List.length (Lint_core.lint_file (fixture "good_io.ml")))
 
+let test_bad_clock_fixture () =
+  let findings = Lint_core.lint_file (fixture "bad_clock.ml") in
+  check
+    Alcotest.(list string)
+    "only wallclock trips" [ "wallclock" ] (rules_of findings);
+  (* gettimeofday + Unix.time + Sys.time + Gc.minor_words
+     + Stdlib.Gc.quick_stat + [module G = Gc] *)
+  check int "every clock/GC read found" 6 (count "wallclock" findings);
+  (* the default config allow-lists the resource layer and bench *)
+  let inside_resource =
+    { Lint_core.disabled = []; allow = [ ("wallclock", "fixtures") ] }
+  in
+  check int "allow-listed under congest/resource-style paths" 0
+    (List.length
+       (Lint_core.lint_file ~config:inside_resource (fixture "bad_clock.ml")))
+
+let test_good_clock_fixture () =
+  check int "Resource-mediated timing lints clean" 0
+    (List.length (Lint_core.lint_file (fixture "good_clock.ml")))
+
 let test_parse_error () =
   let path = Filename.temp_file "lint_garbage" ".ml" in
   let oc = open_out path in
@@ -190,6 +210,10 @@ let () =
             test_bad_io_fixture;
           Alcotest.test_case "Io-mediated persistence allowed" `Quick
             test_good_io_fixture;
+          Alcotest.test_case "clock/GC reads outside resource layer flagged"
+            `Quick test_bad_clock_fixture;
+          Alcotest.test_case "Resource-mediated timing allowed" `Quick
+            test_good_clock_fixture;
           Alcotest.test_case "allow and disable lists" `Quick
             test_allow_and_disable;
           Alcotest.test_case "parse error degrades to finding" `Quick

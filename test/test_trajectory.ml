@@ -1,0 +1,164 @@
+(* Tests for Workload.Trajectory: the BENCH_trajectory.json snapshot
+   format and the >10% regression comparator, with the edge cases CI
+   depends on — rows missing from the baseline, rows removed since the
+   baseline, zero-valued baselines, and baselines predating the resource
+   columns must all be skipped, never flagged and never a crash. *)
+
+module T = Workload.Trajectory
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let entry ?(rounds = 100) ?(messages = 5000) ?(max_bits = 64) ?(phases = 4)
+    ?(seconds = 0.5) ?(minor_words = 1000.0) ?(peak_mb = 12.0) name =
+  {
+    T.name;
+    rounds;
+    messages;
+    max_bits;
+    phases;
+    seconds;
+    minor_words_per_node = minor_words;
+    peak_heap_mb = peak_mb;
+  }
+
+let compare_entries olds news =
+  T.compare_lines
+    ~old_line:(T.snapshot_json ~time:0.0 olds)
+    ~new_line:(T.snapshot_json ~time:1.0 news)
+    ()
+
+let metric_names regs =
+  List.sort_uniq compare (List.map (fun r -> r.T.r_metric) regs)
+
+(* ------------------------------------------------------------------ *)
+
+let test_no_regression_on_identical () =
+  let es = [ entry "grid"; entry "expander" ] in
+  check int "identical snapshots" 0 (List.length (compare_entries es es))
+
+let test_flags_seeded_allocation_regression () =
+  (* the acceptance-criteria case: a >10% minor-allocation regression
+     seeded on purpose must be flagged on the new resource column *)
+  let old_e = [ entry "grid" ~minor_words:1000.0 ] in
+  let new_e = [ entry "grid" ~minor_words:1150.0 ] in
+  let regs = compare_entries old_e new_e in
+  check int "one regression" 1 (List.length regs);
+  let r = List.hd regs in
+  check Alcotest.string "metric" "minor_words_per_node" r.T.r_metric;
+  check Alcotest.string "workload" "grid" r.T.r_name;
+  Alcotest.(check bool) "pct is +15%" true (abs_float (r.T.r_pct -. 15.0) < 0.01);
+  Alcotest.(check string)
+    "rendered shape" "regression: grid minor_words_per_node: 1000 -> 1150 (+15.0%)"
+    (T.regression_line r)
+
+let test_exactly_ten_percent_not_flagged () =
+  let regs =
+    compare_entries [ entry "g" ~rounds:100 ] [ entry "g" ~rounds:110 ]
+  in
+  check int "10% is the fence, not inside it" 0 (List.length regs)
+
+let test_missing_baseline_row () =
+  (* workload present in the new snapshot but absent from the baseline:
+     nothing to diff against, so nothing is flagged *)
+  let regs =
+    compare_entries [ entry "old_only" ]
+      [ entry "brand_new" ~rounds:999999 ~minor_words:1e9 ]
+  in
+  check int "new row skipped" 0 (List.length regs)
+
+let test_removed_row () =
+  (* workload in the baseline but gone from the new snapshot: also not
+     a regression (and must not crash the parser) *)
+  let regs = compare_entries [ entry "gone"; entry "kept" ] [ entry "kept" ] in
+  check int "removed row skipped" 0 (List.length regs)
+
+let test_zero_valued_baseline () =
+  (* zero (or negative) baselines make the percentage meaningless:
+     skipped even though the new value is positive *)
+  let old_e = [ entry "z" ~messages:0 ~seconds:0.0 ~peak_mb:0.0 ] in
+  let new_e = [ entry "z" ~messages:100000 ~seconds:9.9 ~peak_mb:512.0 ] in
+  check int "zero baselines skipped" 0 (List.length (compare_entries old_e new_e))
+
+let test_baseline_predating_resource_columns () =
+  (* a trajectory line written before the resource columns existed:
+     logical metrics still gate, resource metrics are skipped *)
+  let old_line =
+    "{\"time\":0,\"workloads\":[{\"name\":\"grid\",\"rounds\":100,\
+     \"messages\":5000,\"max_bits\":64,\"phases\":4}]}"
+  in
+  let new_line =
+    T.snapshot_json ~time:1.0
+      [ entry "grid" ~rounds:150 ~seconds:99.0 ~minor_words:1e9 ~peak_mb:4096.0 ]
+  in
+  let regs = T.compare_lines ~old_line ~new_line () in
+  check
+    Alcotest.(list string)
+    "only the logical metric fires" [ "rounds" ] (metric_names regs)
+
+let test_resource_columns_gate () =
+  (* all three resource columns are part of the default gate *)
+  let old_e = [ entry "g" ] in
+  let new_e =
+    [ entry "g" ~seconds:0.7 ~minor_words:2000.0 ~peak_mb:20.0 ]
+  in
+  check
+    Alcotest.(list string)
+    "resource regressions flagged"
+    [ "minor_words_per_node"; "peak_heap_mb"; "seconds" ]
+    (metric_names (compare_entries old_e new_e))
+
+let test_metrics_filter () =
+  let old_e = [ entry "g" ~rounds:100 ~minor_words:1000.0 ] in
+  let new_e = [ entry "g" ~rounds:200 ~minor_words:2000.0 ] in
+  let regs =
+    T.compare_lines ~metrics:[ "rounds" ]
+      ~old_line:(T.snapshot_json ~time:0.0 old_e)
+      ~new_line:(T.snapshot_json ~time:1.0 new_e)
+      ()
+  in
+  check Alcotest.(list string) "only requested metric" [ "rounds" ]
+    (metric_names regs)
+
+let test_write_read_roundtrip () =
+  let path = Filename.temp_file "trajectory" ".json" in
+  let lines =
+    [
+      T.snapshot_json ~time:1.0 [ entry "a" ];
+      T.snapshot_json ~time:2.0 [ entry "a" ~rounds:120 ];
+    ]
+  in
+  T.write path lines;
+  let back = T.read_snapshot_lines path in
+  Sys.remove path;
+  check int "both snapshots back" 2 (List.length back);
+  Alcotest.(check (list string)) "lines survive verbatim" lines back;
+  check int "missing file reads empty" 0
+    (List.length (T.read_snapshot_lines path))
+
+let () =
+  Alcotest.run "trajectory"
+    [
+      ( "comparator",
+        [
+          Alcotest.test_case "identical snapshots clean" `Quick
+            test_no_regression_on_identical;
+          Alcotest.test_case "seeded allocation regression flagged" `Quick
+            test_flags_seeded_allocation_regression;
+          Alcotest.test_case "exactly 10% not flagged" `Quick
+            test_exactly_ten_percent_not_flagged;
+          Alcotest.test_case "missing baseline row skipped" `Quick
+            test_missing_baseline_row;
+          Alcotest.test_case "removed row skipped" `Quick test_removed_row;
+          Alcotest.test_case "zero-valued baseline skipped" `Quick
+            test_zero_valued_baseline;
+          Alcotest.test_case "pre-resource baseline tolerated" `Quick
+            test_baseline_predating_resource_columns;
+          Alcotest.test_case "resource columns gate" `Quick
+            test_resource_columns_gate;
+          Alcotest.test_case "metrics filter respected" `Quick
+            test_metrics_filter;
+          Alcotest.test_case "write/read round-trip" `Quick
+            test_write_read_roundtrip;
+        ] );
+    ]

@@ -28,6 +28,10 @@ let rules =
     ( "raw-io",
       "raw Unix file I/O outside Dsgraph.Io / the trace sink bypasses \
        the checksummed CSR format and the spill protocol" );
+    ( "wallclock",
+      "clock/GC reads outside Congest.Resource / bench let node \
+       programs observe real time and allocator state, breaking \
+       deterministic replay" );
     ("parse-error", "file does not parse");
   ]
 
@@ -42,6 +46,8 @@ let default_config =
         ("graph-edit", "dsgraph");
         ("raw-io", "dsgraph/io");
         ("raw-io", "congest/trace");
+        ("wallclock", "congest/resource");
+        ("wallclock", "bench/");
       ];
   }
 
@@ -57,7 +63,7 @@ let trace_emit_names =
   ]
 
 (* Raw file-descriptor I/O: mapping, opening, reading, writing, seeking.
-   Unix.gettimeofday and friends are fine anywhere. *)
+   Unix.gettimeofday and friends are the wallclock rule's business. *)
 let raw_io_names =
   [
     "map_file";
@@ -118,6 +124,10 @@ let lint_structure ~config ~file structure =
           (String.concat "." path ^ ": draw from Dsgraph.Rng instead")
     | "Obj" :: _ | "Stdlib" :: "Obj" :: _ ->
         add loc "obj" (String.concat "." path)
+    | "Gc" :: _ | "Stdlib" :: "Gc" :: _ ->
+        add loc "wallclock"
+          (String.concat "." path
+          ^ ": GC introspection belongs in Congest.Resource")
     | _ -> ());
     match List.rev path with
     | ("==" | "!=") :: _ ->
@@ -135,6 +145,12 @@ let lint_structure ~config ~file structure =
         add loc "raw-io"
           (String.concat "." path
           ^ ": raw file I/O belongs in Dsgraph.Io or the trace sink")
+    | "gettimeofday" :: "Unix" :: _
+    | "time" :: "Unix" :: _
+    | "time" :: "Sys" :: _ ->
+        add loc "wallclock"
+          (String.concat "." path
+          ^ ": read the clock through Congest.Resource.now")
     | _ -> ()
   in
   (* depth of enclosing { init; round; ... } program literals *)

@@ -23,7 +23,15 @@
       [exit_span]) outside [lib/congest]: forged events break the
       stream's event-order contract that every replay consumer
       ([Metrics], [Span], [Causal]) relies on. Read-only consumers are
-      allowed anywhere.
+      allowed anywhere;
+    - [raw-io] — raw [Unix] file-descriptor I/O ([map_file], [openfile],
+      [read], [write], …) outside [Dsgraph.Io] and the trace sink's
+      spill path: ad-hoc I/O bypasses the checksummed CSR format;
+    - [wallclock] — [Unix.gettimeofday] / [Unix.time] / [Sys.time] /
+      [Gc.*] outside [Congest.Resource] and [bench/]: the resource
+      side channel is the single sanctioned clock and GC read point,
+      so engines and node programs can never branch on real time or
+      allocator state.
 
     Findings are reported with the compiler's notion of location. *)
 
