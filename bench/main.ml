@@ -35,6 +35,7 @@ let mode =
   | _ :: "record" :: _ -> `Record
   | _ :: "scale" :: _ -> `Scale
   | _ :: "resource" :: _ -> `Resource
+  | _ :: "analyze" :: _ -> `Analyze
   | _ -> `Standard
 
 (* `chaos quick` shrinks the sweep to CI-smoke size *)
@@ -1535,6 +1536,97 @@ let run_scale_only () =
   if verdict <> Ok () then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* B.ANALYZE: whole-tree static analysis wall-clock                     *)
+(* ------------------------------------------------------------------ *)
+
+(* times tools/analyze over every .cmt dune produced for lib/bench/bin
+   and rides the same trajectory machinery as 'record', so the >10%
+   comparator guards the analyzer's cost the way it guards the
+   algorithms' *)
+let run_analyze_only () =
+  let t0 = Unix.gettimeofday () in
+  section
+    "B.ANALYZE -- typed whole-program analysis (domain-safety + [@hot] \
+     allocations) over the built tree";
+  let roots =
+    [ "_build/default/lib"; "_build/default/bench"; "_build/default/bin" ]
+  in
+  let cmts = List.length (Analyze_core.cmt_paths roots) in
+  if cmts = 0 then
+    Format.fprintf fmt
+      "no .cmt files under %s -- run `dune build @@check` first; nothing \
+       to time@."
+    (String.concat ", " roots)
+  else begin
+    let res = Resource.create () in
+    let minor0 = Gc.minor_words () in
+    let result = Analyze_core.analyze roots in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let minor_words = Gc.minor_words () -. minor0 in
+    let tot = Resource.totals res in
+    let shared =
+      List.length
+        (List.filter
+           (fun e -> e.Analyze_core.e_class = Analyze_core.Shared)
+           result.Analyze_core.r_entries)
+    in
+    let findings = List.length result.Analyze_core.r_findings in
+    Format.fprintf fmt
+      "%d cmts, %d units, %d mutable values (%d shared), %d [@@hot] \
+       functions, %d findings in %.3f s@."
+      cmts result.Analyze_core.r_units
+      (List.length result.Analyze_core.r_entries)
+      shared
+      (List.length result.Analyze_core.r_hots)
+      findings seconds;
+    let entry =
+      {
+        Trajectory.name = "analyze/tree";
+        rounds = result.Analyze_core.r_units;
+        messages = List.length result.Analyze_core.r_entries;
+        max_bits = shared;
+        phases = findings;
+        seconds;
+        minor_words_per_node =
+          minor_words /. float_of_int (max 1 result.Analyze_core.r_units);
+        peak_heap_mb = Resource.peak_heap_mb tot;
+      }
+    in
+    let line = Trajectory.snapshot_json ~time:(Unix.time ()) [ entry ] in
+    let prev = Trajectory.read_snapshot_lines trajectory_path in
+    Trajectory.write trajectory_path (prev @ [ line ]);
+    Format.fprintf fmt "appended analyze snapshot %d to %s@."
+      (List.length prev + 1)
+      trajectory_path;
+    (match List.rev prev with
+    | last :: _ -> ignore (compare_snapshots ~old_line:last ~new_line:line)
+    | [] -> ());
+    (try
+       let dir = "bench_results" in
+       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+       let oc = open_out (Filename.concat dir "analyze.csv") in
+       output_string oc "metric,value\n";
+       List.iter
+         (fun (k, v) -> output_string oc (Printf.sprintf "%s,%s\n" k v))
+         [
+           ("cmts", string_of_int cmts);
+           ("units", string_of_int result.Analyze_core.r_units);
+           ( "mutable_values",
+             string_of_int (List.length result.Analyze_core.r_entries) );
+           ("shared", string_of_int shared);
+           ( "hot_functions",
+             string_of_int (List.length result.Analyze_core.r_hots) );
+           ("findings", string_of_int findings);
+           ("seconds", Printf.sprintf "%.3f" seconds);
+         ];
+       close_out oc;
+       Format.fprintf fmt "CSV dump written to bench_results/analyze.csv@."
+     with Sys_error e -> Format.fprintf fmt "(skipping CSV dump: %s)@." e)
+  end;
+  Format.fprintf fmt "@.total benchmark time: %.1f s@."
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
 
 let run_faults_only () =
   let t0 = Unix.gettimeofday () in
@@ -1561,7 +1653,8 @@ let () =
      repair-cost headline ('chaos quick' for a smoke),@.'record' to append \
      a headline snapshot to the persistent BENCH_trajectory.json,@.'scale' \
      for the million-node CSR end-to-end smoke, 'resource' for the@.resource-\
-     recorder overhead experiment)@."
+     recorder overhead experiment, 'analyze' for the whole-tree@.static-\
+     analysis timing)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
@@ -1573,7 +1666,8 @@ let () =
     | `Chaos -> if chaos_quick then "chaos (quick)" else "chaos"
     | `Record -> "record"
     | `Scale -> "scale"
-    | `Resource -> "resource");
+    | `Resource -> "resource"
+    | `Analyze -> "analyze");
   if mode = `Faults then run_faults_only ()
   else if mode = `Trace then run_trace_only ()
   else if mode = `Conform then run_conform_only ()
@@ -1582,6 +1676,7 @@ let () =
   else if mode = `Record then run_record_only ()
   else if mode = `Scale then run_scale_only ()
   else if mode = `Resource then run_resource_only ()
+  else if mode = `Analyze then run_analyze_only ()
   else begin
   let t0 = Unix.gettimeofday () in
   let rows1 = table1 () in

@@ -15,7 +15,13 @@ let build rng g ~epsilon =
   let n = Graph.n g in
   let cap = Linial_saks.max_radius ~n ~epsilon in
   (* per-node radii drawn up front; nodes only use their own entry *)
-  let radii = Array.init n (fun _ -> min cap (Rng.geometric rng epsilon)) in
+  let radii =
+    Array.init n (fun _ -> min cap (Rng.geometric rng epsilon))
+    [@@domain_unsafe
+      "pre-drawn radius table captured by the program's init closure; \
+       every simulated node reads only its own entry, so it is \
+       read-shared across a future domain fan-out"]
+  in
   let msg_bits = Congest.Bits.id_bits ~n + Congest.Bits.int_bits cap in
   let program =
     {

@@ -107,12 +107,32 @@ let equal_or_incomparable a b =
 
 let instrument ?(order_invariant = false) rec_ g inner =
   let n = Graph.n g in
-  let voted_halt = Array.make n false in
-  let steps = Array.make n 0 in
+  let voted_halt =
+    Array.make n false
+    [@@domain_unsafe
+      "per-node halt flags captured by the instrumented program's \
+       closures; indexed by node, so a domain fan-out must shard or \
+       atomize them"]
+  in
+  let steps =
+    Array.make n 0
+    [@@domain_unsafe
+      "per-node step counters captured by the instrumented program's \
+       closures; indexed by node, racy only across nodes"]
+  in
   (* duplicate-destination detection without per-round allocation:
      [seen.(dst) = gen] marks dst as already hit in the current call *)
-  let seen = Array.make n 0 in
-  let gen = ref 0 in
+  let seen =
+    Array.make n 0
+    [@@domain_unsafe
+      "duplicate-destination scratch shared by every node's round \
+       closure; must become per-domain before parallel delivery"]
+  in
+  let gen =
+    ref 0
+    [@@domain_unsafe
+      "generation counter paired with [seen]; same sharding constraint"]
+  in
   let init ~node ~neighbors =
     voted_halt.(node) <- false;
     steps.(node) <- 0;

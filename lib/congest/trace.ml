@@ -135,6 +135,9 @@ let grow s off =
   let grown = Array.make (min s.limit (2 * Array.length s.buf)) 0 in
   Array.blit s.buf 0 grown 0 off;
   s.buf <- grown
+[@@alloc_ok
+  "amortized doubling of the in-memory event buffer; runs O(log limit) \
+   times total, not on the per-event fast path"]
 
 let spill_writer sp =
   match sp.sp_out with
@@ -171,6 +174,9 @@ let[@inline never] slot_full s =
   | None ->
       s.dropped <- s.dropped + 1;
       -1
+[@@alloc_ok
+  "buffer-full slow path (disk spill or drop); reached once per buffer \
+   fill, never per event"]
 
 let[@inline] slot s =
   let off = s.off in
@@ -192,6 +198,7 @@ let[@inline] emit_message_sent s ~round ~src ~dst ~bits =
     Array.unsafe_set buf (off + 3) dst;
     Array.unsafe_set buf (off + 4) bits
   end
+[@@hot]
 
 let[@inline] emit_message_delivered s ~round ~src ~dst =
   let off = slot s in
@@ -202,6 +209,7 @@ let[@inline] emit_message_delivered s ~round ~src ~dst =
     Array.unsafe_set buf (off + 2) src;
     Array.unsafe_set buf (off + 3) dst
   end
+[@@hot]
 
 let tag_id s tag =
   match Hashtbl.find_opt s.tag_index tag with

@@ -110,20 +110,26 @@ let distances_into ?mask g ~source ~dist ~queue =
   else begin
     dist.(source) <- 0;
     queue.(0) <- source;
-    let head = ref 0 and tail = ref 1 in
+    let head = (ref 0 [@alloc_ok "two cursor cells per call, not per node"])
+    and tail = (ref 1 [@alloc_ok "two cursor cells per call, not per node"]) in
     while !head < !tail do
       let u = queue.(!head) in
       incr head;
       let du = dist.(u) in
-      Graph.iter_neighbors g u (fun v ->
-          if alive mask v && dist.(v) = -1 then begin
-            dist.(v) <- du + 1;
-            queue.(!tail) <- v;
-            incr tail
-          end)
+      Graph.iter_neighbors g u
+        ((fun v ->
+           if alive mask v && dist.(v) = -1 then begin
+             dist.(v) <- du + 1;
+             queue.(!tail) <- v;
+             incr tail
+           end)
+        [@alloc_ok
+          "one visitor closure per dequeued node; capturing du keeps \
+           the loop branch-free and the closure dies in the minor heap"])
     done;
     !tail
   end
+[@@hot]
 
 let restricted_bfs g ~members ~source =
   let out = Hashtbl.create (max 16 (Hashtbl.length members)) in

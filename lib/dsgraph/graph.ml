@@ -32,6 +32,7 @@ let iter_neighbors t v f =
   for i = t.offsets.{v} to hi - 1 do
     f t.targets.{i}
   done
+[@@hot]
 
 let neighbors t v =
   let lo = t.offsets.{v} in

@@ -183,6 +183,9 @@ let palette =
     "#a6cee3"; "#1f78b4"; "#b2df8a"; "#33a02c"; "#fb9a99"; "#e31a1c";
     "#fdbf6f"; "#ff7f00"; "#cab2d6"; "#6a3d9a"; "#ffff99"; "#b15928";
   |]
+[@@domain_unsafe
+  "module-level color table for dot output; written nowhere after module \
+   init, read-only sharing is safe"]
 
 let to_dot ?cluster_of g =
   let buf = Buffer.create 1024 in

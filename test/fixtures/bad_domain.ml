@@ -1,0 +1,26 @@
+(* Analyzer fixture: every mutable value here is shared — module-global
+   or captured by the closures of an escaping record — and none carries
+   a [@domain_unsafe] annotation, so each must produce a domain-unsafe
+   finding. Compiled by the fixtures dune rule with -bin-annot only;
+   never linked. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+
+type stats = { mutable count : int; mutable sum : int }
+
+let global_stats = { count = 0; sum = 0 }
+
+type counter = { bump : unit -> unit; total : unit -> int }
+
+let make_counter () =
+  let cells = Array.make 4 0 in
+  {
+    bump = (fun () -> cells.(0) <- cells.(0) + 1);
+    total = (fun () -> Array.fold_left ( + ) 0 cells);
+  }
+
+let touch k =
+  incr hits;
+  global_stats.count <- global_stats.count + 1;
+  Hashtbl.replace table k !hits

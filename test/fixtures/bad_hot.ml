@@ -1,0 +1,12 @@
+(* Analyzer fixture: every [@hot] function here allocates — directly,
+   through a callee, or through a module alias — and must be flagged. *)
+
+module A = Hot_dep
+
+let[@hot] pair x y = (x, y)
+
+let[@hot] boxed a b = Int64.add a b
+
+let[@hot] deep xs = Hot_dep.leaky xs
+
+let[@hot] aliased xs = A.leaky xs

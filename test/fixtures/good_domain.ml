@@ -1,0 +1,34 @@
+(* Analyzer fixture: the same shapes as bad_domain, but every shared
+   value carries its [@domain_unsafe] reason — and the local/owned
+   patterns below never escape at all. Zero findings expected. *)
+
+let registry : (int, int) Hashtbl.t =
+  Hashtbl.create 16
+[@@domain_unsafe "fixture registry: single-domain test harness state"]
+
+type counter = { bump : unit -> unit; total : unit -> int }
+
+let make_counter () =
+  let cells =
+    Array.make 4 0
+    [@@domain_unsafe
+      "captured by the counter record's closures; one counter per owner"]
+  in
+  {
+    bump = (fun () -> cells.(0) <- cells.(0) + 1);
+    total = (fun () -> Array.fold_left ( + ) 0 cells);
+  }
+
+(* local: scratch that never leaves the function *)
+let count_zeros a =
+  let zeros = ref 0 in
+  Array.iter (fun x -> if x = 0 then incr zeros) a;
+  !zeros
+
+(* owned: escapes only as the returned value *)
+let fresh_table n = Hashtbl.create (max 1 n)
+
+(* owned: handed to exactly one callee *)
+let checksum n =
+  let b = Bytes.make n ' ' in
+  Digest.bytes b

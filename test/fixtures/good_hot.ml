@@ -1,0 +1,14 @@
+(* Analyzer fixture: [@hot] functions that stay allocation-free, or
+   accept a deliberate allocation with an [@alloc_ok] reason — zero
+   findings expected. *)
+
+let[@hot] sum a =
+  let s = (ref 0 [@alloc_ok "one accumulator cell per call"]) in
+  for i = 0 to Array.length a - 1 do
+    s := !s + a.(i)
+  done;
+  !s
+
+let[@hot] lookup a i = Hot_dep.clean a i
+
+let[@hot] drain xs = Hot_dep.accepted xs

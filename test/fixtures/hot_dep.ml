@@ -1,0 +1,11 @@
+(* Interprocedural callee fixture for the [@hot] allocation analysis:
+   [leaky] allocates, [clean] does not, [accepted] allocates but takes
+   responsibility with [@alloc_ok]. Referenced from bad_hot / good_hot
+   both directly and through a module alias. *)
+
+let leaky xs = List.map (fun x -> x + 1) xs
+
+let clean a i = if i < Array.length a then a.(i) else 0
+
+let accepted xs = List.rev xs
+[@@alloc_ok "fixture: deliberate allocation accepted at the callee"]

@@ -54,7 +54,8 @@ let () =
     exit 2
   end;
   let findings =
-    List.concat_map (fun f -> Lint_core.lint_file ~config f) files
+    Lint_core.sort_findings
+      (List.concat_map (fun f -> Lint_core.lint_file ~config f) files)
   in
   List.iter
     (fun f -> Format.printf "%a@." Lint_core.pp_finding f)

@@ -269,7 +269,18 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* (file, line, col, rule) order, so the report and the JSON payload are
+   byte-stable regardless of the filesystem walk order that produced the
+   findings *)
+let sort_findings findings =
+  List.sort
+    (fun a b ->
+      compare (a.file, a.line, a.col, a.rule, a.detail)
+        (b.file, b.line, b.col, b.rule, b.detail))
+    findings
+
 let to_json ~files_scanned findings =
+  let findings = sort_findings findings in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\"rules\":[";
   List.iteri
@@ -290,5 +301,13 @@ let to_json ~files_scanned findings =
            (json_escape f.file) f.line f.col (json_escape f.rule)
            (json_escape f.detail)))
     findings;
-  Buffer.add_string buf "]}";
+  Buffer.add_string buf "],\"counts\":{";
+  List.iteri
+    (fun i (name, _) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%d" (json_escape name)
+           (List.length (List.filter (fun f -> f.rule = name) findings))))
+    rules;
+  Buffer.add_string buf "}}";
   Buffer.contents buf

@@ -68,5 +68,10 @@ val ml_files : string list -> string list
 
 val pp_finding : Format.formatter -> finding -> unit
 
+val sort_findings : finding list -> finding list
+(** (file, line, col, rule) order: the emit order is a function of the
+    findings alone, not of the filesystem walk order. *)
+
 val to_json : files_scanned:int -> finding list -> string
-(** The [lint_results.json] payload: rule list, file count, findings. *)
+(** The [lint_results.json] payload: rule list, file count, findings
+    (sorted with {!sort_findings}) and a per-rule [counts] object. *)
