@@ -36,6 +36,7 @@ let mode =
   | _ :: "scale" :: _ -> `Scale
   | _ :: "resource" :: _ -> `Resource
   | _ :: "analyze" :: _ -> `Analyze
+  | _ :: "dashboard" :: _ -> `Dashboard
   | _ -> `Standard
 
 (* `chaos quick` shrinks the sweep to CI-smoke size *)
@@ -1307,16 +1308,35 @@ let run_chaos_only () =
 
 let trajectory_path = "BENCH_trajectory.json"
 
+(* malformed trajectory lines are skipped with a warning, never
+   silently dropped — and never fatal, so one corrupt line cannot
+   wedge the recorder *)
+let read_trajectory () =
+  Trajectory.read_snapshot_lines
+    ~warn:(fun ~line_number line ->
+      Format.fprintf fmt "warning: %s line %d: malformed snapshot line \
+                          skipped (%s)@."
+        trajectory_path line_number
+        (if String.length line > 40 then String.sub line 0 40 ^ "..." else line))
+    trajectory_path
+
 (* one snapshot workload: logical costs from the trace, resource columns
    (seconds, per-node allocation, peak heap) from a recorder attached to
-   each run's sink *)
+   each run's sink. The seconds headline is the median of a
+   Workload.Stats multi-sample run, with the MAD stored alongside so
+   the comparator can tell noise from regression. *)
 let record_entries () =
   let decomp name n =
     let d = Algorithms.find_decomposer name in
     let sink = Congest.Trace.sink () in
     let res = Resource.create () in
     Resource.attach res sink;
-    let row = Measure.decomposition_row ~seed ~trace:sink d Suite.grid ~n in
+    (* the sink (and its recorder) only see the last sample, so the
+       logical and resource columns still describe a single run *)
+    let row, summary =
+      Measure.decomposition_row_sampled ~seed ~trace:sink
+        ~plan:Workload.Stats.quick_plan d Suite.grid ~n
+    in
     let tot = Resource.totals res in
     {
       Trajectory.name = Printf.sprintf "%s/grid%d" name n;
@@ -1324,7 +1344,8 @@ let record_entries () =
       messages = row.Measure.messages;
       max_bits = row.Measure.max_message_bits;
       phases = List.length (Congest.Span.rollups sink);
-      seconds = row.Measure.seconds;
+      seconds = summary.Workload.Stats.median;
+      seconds_mad = summary.Workload.Stats.mad;
       minor_words_per_node =
         tot.Resource.t_minor_words /. float_of_int n;
       peak_heap_mb = Resource.peak_heap_mb tot;
@@ -1332,12 +1353,16 @@ let record_entries () =
   in
   let sim () =
     let g = Gen.grid 8 8 in
+    (* timed samples run untraced; one final traced run supplies the
+       logical and resource columns *)
+    let _, summary =
+      Workload.Stats.measure ~plan:Workload.Stats.default_plan (fun () ->
+          Weakdiam.Distributed.carve g ~epsilon:0.5)
+    in
     let sink = Congest.Trace.sink () in
     let res = Resource.create () in
     Resource.attach res sink;
-    let t0 = Unix.gettimeofday () in
     let r = Weakdiam.Distributed.carve ~trace:sink g ~epsilon:0.5 in
-    let seconds = Unix.gettimeofday () -. t0 in
     let tot = Resource.totals res in
     let s = r.Weakdiam.Distributed.sim_stats in
     {
@@ -1346,7 +1371,8 @@ let record_entries () =
       messages = s.Congest.Sim.total_messages;
       max_bits = s.Congest.Sim.max_bits_seen;
       phases = List.length (Congest.Span.rollups sink);
-      seconds;
+      seconds = summary.Workload.Stats.median;
+      seconds_mad = summary.Workload.Stats.mad;
       minor_words_per_node = tot.Resource.t_minor_words /. 64.0;
       peak_heap_mb = Resource.peak_heap_mb tot;
     }
@@ -1354,7 +1380,8 @@ let record_entries () =
   (* repair headline, mapped onto the snapshot shape so the >10%
      comparator guards locality and cost: rounds := touched nodes,
      messages := dirty clusters, max_bits := region edges, phases :=
-     fresh clusters, seconds := repair wall time *)
+     fresh clusters, seconds := repair wall time (single-shot, so its
+     MAD is 0 and the comparator keeps the pure 10% gate) *)
   let repair_entry () =
     let res = Resource.create () in
     let rep, region_edges, _scratch = repair_trial ~trial:1 in
@@ -1366,6 +1393,7 @@ let record_entries () =
       max_bits = region_edges;
       phases = rep.Repair.fresh_clusters;
       seconds = rep.Repair.seconds;
+      seconds_mad = 0.0;
       minor_words_per_node = tot.Resource.t_minor_words /. 256.0;
       peak_heap_mb = Resource.peak_heap_mb tot;
     }
@@ -1379,42 +1407,75 @@ let record_entries () =
     repair_entry ();
   ]
 
-(* prints one "regression: ..." line per >10% metric increase; CI greps
-   for the prefix and surfaces them as non-blocking warnings *)
+(* prints one "regression: ..." line per significant metric increase
+   (the MAD-aware max(10%, k*MAD) gate); CI greps for the prefix and
+   surfaces them as non-blocking warnings. Snapshots recorded under
+   different environment fingerprints are not compared at all. *)
 let compare_snapshots ~old_line ~new_line =
-  let regs = Trajectory.compare_lines ~old_line ~new_line () in
-  List.iter
-    (fun r -> Format.fprintf fmt "%s@." (Trajectory.regression_line r))
-    regs;
-  List.length regs
+  match Trajectory.compare_snapshots ~old_line ~new_line () with
+  | Trajectory.Incomparable { old_fp; new_fp } ->
+      Format.fprintf fmt
+        "environment fingerprint changed -- skipping the regression \
+         comparison@.  previous: %s@.  current:  %s@."
+        old_fp new_fp;
+      0
+  | Trajectory.Regressions regs ->
+      List.iter
+        (fun r -> Format.fprintf fmt "%s@." (Trajectory.regression_line r))
+        regs;
+      List.length regs
+
+let fingerprint = lazy (Workload.Stats.current_fingerprint ())
 
 let run_record_only () =
   let t0 = Unix.gettimeofday () in
   section
     "B.RECORD -- headline-metrics snapshot appended to BENCH_trajectory.json";
   let entries = record_entries () in
-  Format.fprintf fmt "%-24s %10s %10s %8s %7s %9s %12s %8s@." "workload"
-    "rounds" "messages" "maxbits" "phases" "seconds" "minorW/node" "peakMB";
+  Format.fprintf fmt "%-24s %10s %10s %8s %7s %9s %9s %12s %8s@." "workload"
+    "rounds" "messages" "maxbits" "phases" "seconds" "mad" "minorW/node"
+    "peakMB";
   List.iter
     (fun e ->
-      Format.fprintf fmt "%-24s %10d %10d %8d %7d %9.3f %12.0f %8.1f@."
+      Format.fprintf fmt "%-24s %10d %10d %8d %7d %9.3f %9.4f %12.0f %8.1f@."
         e.Trajectory.name e.Trajectory.rounds e.Trajectory.messages
         e.Trajectory.max_bits e.Trajectory.phases e.Trajectory.seconds
-        e.Trajectory.minor_words_per_node e.Trajectory.peak_heap_mb)
+        e.Trajectory.seconds_mad e.Trajectory.minor_words_per_node
+        e.Trajectory.peak_heap_mb)
     entries;
-  let line = Trajectory.snapshot_json ~time:(Unix.time ()) entries in
-  let prev = Trajectory.read_snapshot_lines trajectory_path in
+  Format.fprintf fmt "@.environment: %a@." Workload.Stats.pp_fingerprint
+    (Lazy.force fingerprint);
+  let line =
+    Trajectory.snapshot_json
+      ~fingerprint:(Lazy.force fingerprint)
+      ~time:(Unix.time ()) entries
+  in
+  let prev = read_trajectory () in
   Trajectory.write trajectory_path (prev @ [ line ]);
-  Format.fprintf fmt "@.appended snapshot %d to %s@."
+  Format.fprintf fmt "appended snapshot %d to %s@."
     (List.length prev + 1)
     trajectory_path;
   (match List.rev prev with
   | last :: _ ->
       if compare_snapshots ~old_line:last ~new_line:line = 0 then
-        Format.fprintf fmt "no >10%% regressions vs the previous snapshot@."
+        Format.fprintf fmt "no significant regressions vs the previous \
+                            snapshot@."
   | [] -> Format.fprintf fmt "first snapshot -- nothing to compare against@.");
   Format.fprintf fmt "@.total benchmark time: %.1f s@."
     (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* B.DASHBOARD: the trajectory rendered as a self-contained HTML page   *)
+(* ------------------------------------------------------------------ *)
+
+let dashboard_path = "BENCH_dashboard.html"
+
+let run_dashboard_only () =
+  section "B.DASHBOARD -- trajectory sparkline dashboard";
+  let lines = read_trajectory () in
+  Workload.Dashboard.write ~path:dashboard_path lines;
+  Format.fprintf fmt "%d snapshots rendered to %s@." (List.length lines)
+    dashboard_path
 
 (* ------------------------------------------------------------------ *)
 (* B.SCALE: million-node CSR substrate end-to-end                       *)
@@ -1491,13 +1552,18 @@ let run_scale_only () =
       max_bits = Congest.Cost.max_message_bits cost;
       phases;
       seconds = dec_s;
+      seconds_mad = 0.0;
       minor_words_per_node =
         dec_tot.Resource.t_minor_words /. float_of_int scale_n;
       peak_heap_mb = Resource.peak_heap_mb dec_tot;
     }
   in
-  let line = Trajectory.snapshot_json ~time:(Unix.time ()) [ entry ] in
-  let prev = Trajectory.read_snapshot_lines trajectory_path in
+  let line =
+    Trajectory.snapshot_json
+      ~fingerprint:(Lazy.force fingerprint)
+      ~time:(Unix.time ()) [ entry ]
+  in
+  let prev = read_trajectory () in
   Trajectory.write trajectory_path (prev @ [ line ]);
   Format.fprintf fmt "appended scale snapshot %d to %s@."
     (List.length prev + 1)
@@ -1587,13 +1653,18 @@ let run_analyze_only () =
         max_bits = shared;
         phases = findings;
         seconds;
+        seconds_mad = 0.0;
         minor_words_per_node =
           minor_words /. float_of_int (max 1 result.Analyze_core.r_units);
         peak_heap_mb = Resource.peak_heap_mb tot;
       }
     in
-    let line = Trajectory.snapshot_json ~time:(Unix.time ()) [ entry ] in
-    let prev = Trajectory.read_snapshot_lines trajectory_path in
+    let line =
+      Trajectory.snapshot_json
+        ~fingerprint:(Lazy.force fingerprint)
+        ~time:(Unix.time ()) [ entry ]
+    in
+    let prev = read_trajectory () in
     Trajectory.write trajectory_path (prev @ [ line ]);
     Format.fprintf fmt "appended analyze snapshot %d to %s@."
       (List.length prev + 1)
@@ -1654,7 +1725,8 @@ let () =
      a headline snapshot to the persistent BENCH_trajectory.json,@.'scale' \
      for the million-node CSR end-to-end smoke, 'resource' for the@.resource-\
      recorder overhead experiment, 'analyze' for the whole-tree@.static-\
-     analysis timing)@."
+     analysis timing, 'dashboard' to render BENCH_trajectory.json to@.\
+     BENCH_dashboard.html)@."
     (match mode with
     | `Quick -> "quick"
     | `Standard -> "standard"
@@ -1667,7 +1739,8 @@ let () =
     | `Record -> "record"
     | `Scale -> "scale"
     | `Resource -> "resource"
-    | `Analyze -> "analyze");
+    | `Analyze -> "analyze"
+    | `Dashboard -> "dashboard");
   if mode = `Faults then run_faults_only ()
   else if mode = `Trace then run_trace_only ()
   else if mode = `Conform then run_conform_only ()
@@ -1677,6 +1750,7 @@ let () =
   else if mode = `Scale then run_scale_only ()
   else if mode = `Resource then run_resource_only ()
   else if mode = `Analyze then run_analyze_only ()
+  else if mode = `Dashboard then run_dashboard_only ()
   else begin
   let t0 = Unix.gettimeofday () in
   let rows1 = table1 () in

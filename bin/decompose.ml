@@ -812,6 +812,108 @@ let repair_cmd =
       $ carve_arg $ steps_arg $ crashes_arg $ revive_arg $ dels_arg $ adds_arg
       $ halo_arg $ max_touched_arg)
 
+let diff_cmd =
+  let a_pos =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"OLD"
+          ~doc:
+            "Baseline side: a run-report JSON ($(b,decompose report) \
+             artifact) or a trajectory file, optionally with $(b,#N) \
+             selecting the 1-based snapshot (negative counts from the end; \
+             default the newest).")
+  in
+  let b_pos =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate side; same specs as $(i,OLD).")
+  in
+  let force_arg =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Compare even when the two sides carry different environment \
+             fingerprints (cross-machine timings are not comparable; the \
+             logical columns still are).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the diff as JSON to FILE ('-' for stdout).")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write differential folded stacks ('frames old new', seconds in \
+             microseconds) to FILE ('-' for stdout) — the input \
+             difffolded.pl expects.")
+  in
+  let rel_arg =
+    Arg.(
+      value & opt float Workload.Diff.default_options.Workload.Diff.rel
+      & info [ "rel" ] ~docv:"R"
+          ~doc:"Relative significance gate (fraction of the baseline).")
+  in
+  let k_arg =
+    Arg.(
+      value & opt float Workload.Diff.default_options.Workload.Diff.k
+      & info [ "k" ] ~docv:"K"
+          ~doc:"MAD multiplier widening the seconds gate.")
+  in
+  let min_seconds_arg =
+    Arg.(
+      value
+      & opt float Workload.Diff.default_options.Workload.Diff.min_seconds
+      & info [ "min-seconds" ] ~docv:"S"
+          ~doc:"Absolute floor for a seconds delta to count as significant.")
+  in
+  let run a_spec b_spec force json folded rel k min_seconds =
+    let load spec =
+      match Workload.Diff.load spec with
+      | Ok side -> side
+      | Error e ->
+          Format.eprintf "%s@." e;
+          exit 2
+    in
+    let a = load a_spec and b = load b_spec in
+    let options = { Workload.Diff.rel; k; min_seconds; force } in
+    match Workload.Diff.compare ~options a b with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 3
+    | Ok d ->
+        print_string (Workload.Diff.to_markdown d);
+        let emit what = function
+          | None -> ()
+          | Some "-" -> print_string (what d)
+          | Some path ->
+              write_file path (what d);
+              Format.printf "wrote %s@." path
+        in
+        emit Workload.Diff.to_json json;
+        emit Workload.Diff.to_folded folded;
+        if d.Workload.Diff.significant > 0 then exit 1
+  in
+  let doc =
+    "align the span trees of two runs by phase path and report per-phase \
+     deltas (rounds, messages, bits, seconds, minor words) with \
+     added/removed/renamed detection; deltas below the noise floor \
+     (max of the relative gate and the MAD-widened gate, plus an absolute \
+     seconds floor) are not significant. Exits 0 when nothing significant \
+     changed, 1 when something did, 3 when the environment fingerprints \
+     differ (pass $(b,--force) to compare anyway)."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const run $ a_pos $ b_pos $ force_arg $ json_arg $ folded_arg $ rel_arg
+      $ k_arg $ min_seconds_arg)
+
 let list_cmd =
   let run () =
     Format.printf "families:@.";
@@ -849,5 +951,6 @@ let () =
             repair_cmd;
             report_cmd;
             conform_cmd;
+            diff_cmd;
             list_cmd;
           ]))

@@ -1,0 +1,25 @@
+(** Trajectory dashboard: renders the BENCH_trajectory.json time
+    series into one self-contained HTML file — no external assets, no
+    scripts — with a sparkline per workload x metric, environment-
+    fingerprint change markers, and regression highlights from the
+    {!Trajectory} comparator.
+
+    Layout: one row of panels per workload, one panel per headline
+    metric (seconds, rounds, messages, minor_words_per_node,
+    peak_heap_mb). Each panel is a single-series sparkline (so no
+    legend; the panel title names the series), with the latest value
+    direct-labeled, native SVG tooltips on every point, dashed
+    vertical markers where the recording fingerprint changed, and a
+    filled marker (plus explanatory tooltip text — color never carries
+    the meaning alone) on points the comparator flagged against their
+    predecessor. Light and dark modes are both styled via
+    [prefers-color-scheme]. Surfaced as [bench dashboard] and uploaded
+    as a CI artifact. *)
+
+val render : ?title:string -> string list -> string
+(** [render lines] builds the HTML document from trajectory snapshot
+    lines (as {!Trajectory.read_snapshot_lines} returns them, oldest
+    first). An empty list yields a valid page saying so. *)
+
+val write : ?title:string -> path:string -> string list -> unit
+(** {!render} to a file. *)

@@ -25,6 +25,7 @@ type t = {
   span_slack : Congest.Causal.span_slack list;
   audit : Audit.t;
   audit_verdict : (unit, string) result;
+  fingerprint : Stats.fingerprint;
 }
 
 let assemble ~algo ~reference ~family ~n ~m ~seed ~epsilon ~colors
@@ -63,6 +64,7 @@ let assemble ~algo ~reference ~family ~n ~m ~seed ~epsilon ~colors
     span_slack = Congest.Causal.span_breakdown sink causal;
     audit;
     audit_verdict = Audit.verify graph audit;
+    fingerprint = Stats.current_fingerprint ();
   }
 
 let of_decomposer ?(seed = 42) (d : Algorithms.decomposer) family ~n =
@@ -123,6 +125,8 @@ let to_markdown t =
   add "Reference: %s. Seed %d. %d events recorded" t.reference t.seed t.events;
   if t.truncated > 0 then add " (%d truncated)" t.truncated;
   add ".\n\n";
+  add "Environment: %s.\n\n"
+    (Format.asprintf "%a" Stats.pp_fingerprint t.fingerprint);
   add "| quantity | value |\n|---|---|\n";
   add "| nodes / edges | %d / %d |\n" t.n t.m;
   (match t.epsilon with Some e -> add "| epsilon | %.3f |\n" e | None -> ());
@@ -242,6 +246,7 @@ let to_json t =
     t.messages t.max_message_bits;
   add "\"valid\":%b,\"seconds\":%.6f,\"events\":%d,\"truncated\":%d}," t.valid
     t.seconds t.events t.truncated;
+  add "\"fingerprint\":%s," (Stats.fingerprint_json t.fingerprint);
   let c = t.causal in
   add "\"causal\":{";
   add "\"rounds\":%d,\"sim_rounds\":%d,\"engine_rounds\":%d,"

@@ -47,6 +47,9 @@ type t = {
   span_slack : Congest.Causal.span_slack list;
   audit : Audit.t;
   audit_verdict : (unit, string) result;
+  fingerprint : Stats.fingerprint;
+      (** the environment the run was recorded in — embedded in the
+          JSON so {!Diff} can refuse cross-environment comparisons *)
 }
 
 val of_decomposer :

@@ -1,0 +1,99 @@
+(** Statistical measurement: multi-sample timing with warmup and GC
+    settling, median/MAD summaries, a self-calibrated noise floor, and
+    the environment fingerprint every persisted measurement carries.
+
+    This generalizes the one-off calibration that lived in
+    [bench resource]: instead of a single-shot [seconds] headline that
+    drifts with machine noise, callers run {!measure} and persist the
+    median together with the MAD (median absolute deviation), so the
+    {!Trajectory} comparator and the {!Diff} engine can tell noise from
+    regression — a delta is only significant when it exceeds
+    [max(rel * baseline, k * MAD)] (see {!threshold}).
+
+    Alongside [congest/resource] and [bench/], this module is the only
+    sanctioned wall-clock/GC site (the [wallclock] lint rule admits it
+    by name); all timing goes through {!Congest.Resource.now}. *)
+
+type fingerprint = {
+  git_sha : string;  (** short commit sha, or ["unknown"] outside a checkout *)
+  ocaml_version : string;
+  word_size : int;
+  flambda : bool;
+  hostname : string;
+}
+(** The environment a measurement was taken in. Rows recorded under
+    different fingerprints are not hard-comparable: the comparator
+    refuses rather than flag phantom regressions across machines or
+    compiler configurations. *)
+
+val current_fingerprint : unit -> fingerprint
+(** Resolves the git sha from [GITHUB_SHA] when set, else by walking up
+    from the cwd to [.git] (HEAD -> ref -> packed-refs); never raises —
+    unresolvable fields degrade to ["unknown"]. *)
+
+val fingerprint_json : fingerprint -> string
+(** Flat JSON object, e.g.
+    [{"git_sha":"abc123","ocaml_version":"5.1.1","word_size":64,"flambda":false,"hostname":"ci"}]. *)
+
+val fingerprint_of_json : string -> fingerprint option
+(** Inverse of {!fingerprint_json}; [None] when any field is missing or
+    malformed. Scans the first occurrence of each field, so the input
+    may be a whole snapshot line containing the fingerprint object. *)
+
+val fingerprint_equal : fingerprint -> fingerprint -> bool
+val pp_fingerprint : Format.formatter -> fingerprint -> unit
+
+type plan = {
+  warmup : int;  (** untimed runs before sampling *)
+  samples : int;  (** timed runs; clamped to at least 1 *)
+  settle : bool;  (** [Gc.full_major] before each timed run *)
+}
+
+val default_plan : plan
+(** [{ warmup = 1; samples = 5; settle = true }] *)
+
+val quick_plan : plan
+(** [{ warmup = 1; samples = 3; settle = true }] — for expensive
+    workloads where five samples would blow the CI budget. *)
+
+val settle : unit -> unit
+(** [Gc.full_major] — exposed so samplers living outside this module
+    (e.g. {!Measure}) can settle the heap between samples without
+    touching [Gc] directly, which the [wallclock] lint rule confines
+    to the sanctioned sites. *)
+
+type summary = {
+  runs : int;
+  median : float;
+  mad : float;  (** median absolute deviation from the median *)
+  lo : float;
+  hi : float;
+}
+
+val summarize : float list -> summary
+(** Median/MAD/extremes of a sample list. Raises [Invalid_argument] on
+    the empty list. *)
+
+val measure : ?plan:plan -> (unit -> 'a) -> 'a * summary
+(** Runs [f] [plan.warmup] untimed times, then [plan.samples] timed
+    times (each preceded by [Gc.full_major] when [plan.settle]),
+    returning the last run's result and the timing summary. Timing uses
+    {!Congest.Resource.now}, the repo's single sanctioned clock. *)
+
+val noise_floor : ?plan:plan -> (unit -> 'a) -> float
+(** Relative difference between the medians of two independent
+    measurement batches of the same workload — an empirical bound on
+    run-to-run noise under the current plan. [0.] when the first
+    batch's median is not positive. *)
+
+val threshold : ?rel:float -> ?k:float -> mad:float -> float -> float
+(** [threshold ~mad baseline] is the absolute delta a measurement must
+    exceed to be significant against [baseline]:
+    [max (rel *. |baseline|) (k *. mad)]. [rel] defaults to [0.10]
+    (the historical 10% gate), [k] to [3.0]. With [mad = 0.] this
+    degrades to the pure relative gate, so pre-MAD baselines keep
+    their old behavior. *)
+
+val exceeds : ?rel:float -> ?k:float -> mad:float -> baseline:float -> float -> bool
+(** [exceeds ~mad ~baseline v]: did [v] grow past [baseline] by more
+    than {!threshold}? One-sided — improvements never flag. *)

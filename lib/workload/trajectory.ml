@@ -5,43 +5,74 @@ type entry = {
   max_bits : int;
   phases : int;
   seconds : float;
+  seconds_mad : float;
   minor_words_per_node : float;
   peak_heap_mb : float;
 }
 
-let snapshot_json ~time entries =
+let snapshot_json ?fingerprint ~time entries =
   let buf = Buffer.create 512 in
-  Buffer.add_string buf (Printf.sprintf "{\"time\":%.0f,\"workloads\":[" time);
+  Buffer.add_string buf (Printf.sprintf "{\"time\":%.0f," time);
+  (match fingerprint with
+  | Some fp ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"fingerprint\":%s," (Stats.fingerprint_json fp))
+  | None -> ());
+  Buffer.add_string buf "\"workloads\":[";
   List.iteri
     (fun i e ->
       if i > 0 then Buffer.add_char buf ',';
+      (* "seconds" stays first so prefix-scanning parsers (num_field
+         matches the first occurrence) keep reading the median, not
+         "seconds_median"/"seconds_mad" *)
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":%S,\"rounds\":%d,\"messages\":%d,\"max_bits\":%d,\"phases\":%d,\"seconds\":%.4f,\"minor_words_per_node\":%.1f,\"peak_heap_mb\":%.1f}"
-           e.name e.rounds e.messages e.max_bits e.phases e.seconds
-           e.minor_words_per_node e.peak_heap_mb))
+           "{\"name\":%S,\"rounds\":%d,\"messages\":%d,\"max_bits\":%d,\"phases\":%d,\"seconds\":%.4f,\"seconds_median\":%.4f,\"seconds_mad\":%.6f,\"minor_words_per_node\":%.1f,\"peak_heap_mb\":%.1f}"
+           e.name e.rounds e.messages e.max_bits e.phases e.seconds e.seconds
+           e.seconds_mad e.minor_words_per_node e.peak_heap_mb))
     entries;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+(* a snapshot line must be a balanced one-line object mentioning
+   "workloads"; the array delimiter lines '[' / ']' are structure, not
+   snapshots, and anything else is malformed *)
+let balanced_object line =
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    line;
+  !ok && !depth = 0
+
 (* the trajectory file is a JSON array with exactly one snapshot object
    per line, so appending = collect the '{'-lines and rewrite *)
-let read_snapshot_lines path =
+let read_snapshot_lines ?(warn = fun ~line_number:_ _ -> ()) path =
   if not (Sys.file_exists path) then []
   else begin
     let ic = open_in path in
     let lines = ref [] in
+    let lineno = ref 0 in
     (try
        while true do
          let line = String.trim (input_line ic) in
-         if String.length line > 0 && line.[0] = '{' then begin
-           let line =
-             if line.[String.length line - 1] = ',' then
-               String.sub line 0 (String.length line - 1)
-             else line
-           in
-           lines := line :: !lines
-         end
+         incr lineno;
+         if String.length line > 0 then
+           if line.[0] = '{' then begin
+             let line =
+               if line.[String.length line - 1] = ',' then
+                 String.sub line 0 (String.length line - 1)
+               else line
+             in
+             if balanced_object line then lines := line :: !lines
+             else warn ~line_number:!lineno line
+           end
+           else if line <> "[" && line <> "]" then
+             warn ~line_number:!lineno line
        done
      with End_of_file -> ());
     close_in ic;
@@ -104,6 +135,17 @@ let num_field field obj =
       done;
       float_of_string_opt (String.sub obj start (!j - start))
 
+(* the fingerprint object is flat, so it runs from its marker to the
+   next '}' *)
+let fingerprint_of_line line =
+  match index_of_sub line 0 "\"fingerprint\":{" with
+  | None -> None
+  | Some i -> (
+      let start = i + String.length "\"fingerprint\":" in
+      match String.index_from_opt line start '}' with
+      | None -> None
+      | Some j -> Some (String.sub line start (j - start + 1)))
+
 type regression = {
   r_name : string;
   r_metric : string;
@@ -122,7 +164,8 @@ let default_metrics =
     "peak_heap_mb";
   ]
 
-let compare_lines ?(metrics = default_metrics) ~old_line ~new_line () =
+let compare_lines ?(metrics = default_metrics) ?(k = 3.0) ~old_line ~new_line
+    () =
   let olds = workload_objs old_line and news = workload_objs new_line in
   let flagged = ref [] in
   List.iter
@@ -138,20 +181,49 @@ let compare_lines ?(metrics = default_metrics) ~old_line ~new_line () =
               List.iter
                 (fun metric ->
                   match (num_field metric oobj, num_field metric nobj) with
-                  | Some ov, Some nv when ov > 0.0 && nv > ov *. 1.10 ->
-                      flagged :=
-                        {
-                          r_name = name;
-                          r_metric = metric;
-                          r_old = ov;
-                          r_new = nv;
-                          r_pct = 100.0 *. (nv -. ov) /. ov;
-                        }
-                        :: !flagged
+                  | Some ov, Some nv when ov > 0.0 ->
+                      (* noisy metrics carry a recorded "<metric>_mad"
+                         column; the gate widens to max(10%, k*MAD), and
+                         metrics without one keep the pure 10% gate *)
+                      let mad_field = metric ^ "_mad" in
+                      let mad =
+                        Float.max
+                          (Option.value (num_field mad_field oobj) ~default:0.0)
+                          (Option.value (num_field mad_field nobj) ~default:0.0)
+                      in
+                      (* seconds additionally needs to clear an absolute
+                         floor (as in {!Diff}): sub-millisecond headline
+                         jitter on the fast workloads never flags *)
+                      let floor =
+                        if metric = "seconds" then 0.005 else 0.0
+                      in
+                      if
+                        Stats.exceeds ~k ~mad ~baseline:ov nv
+                        && nv -. ov > floor
+                      then
+                        flagged :=
+                          {
+                            r_name = name;
+                            r_metric = metric;
+                            r_old = ov;
+                            r_new = nv;
+                            r_pct = 100.0 *. (nv -. ov) /. ov;
+                          }
+                          :: !flagged
                   | _ -> ())
                 metrics))
     news;
   List.rev !flagged
+
+type verdict =
+  | Regressions of regression list
+  | Incomparable of { old_fp : string; new_fp : string }
+
+let compare_snapshots ?metrics ?k ~old_line ~new_line () =
+  match (fingerprint_of_line old_line, fingerprint_of_line new_line) with
+  | Some old_fp, Some new_fp when old_fp <> new_fp ->
+      Incomparable { old_fp; new_fp }
+  | _ -> Regressions (compare_lines ?metrics ?k ~old_line ~new_line ())
 
 let regression_line r =
   Printf.sprintf "regression: %s %s: %g -> %g (+%.1f%%)" r.r_name r.r_metric

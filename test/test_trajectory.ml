@@ -10,7 +10,8 @@ let check = Alcotest.check
 let int = Alcotest.int
 
 let entry ?(rounds = 100) ?(messages = 5000) ?(max_bits = 64) ?(phases = 4)
-    ?(seconds = 0.5) ?(minor_words = 1000.0) ?(peak_mb = 12.0) name =
+    ?(seconds = 0.5) ?(mad = 0.0) ?(minor_words = 1000.0) ?(peak_mb = 12.0)
+    name =
   {
     T.name;
     rounds;
@@ -18,6 +19,7 @@ let entry ?(rounds = 100) ?(messages = 5000) ?(max_bits = 64) ?(phases = 4)
     max_bits;
     phases;
     seconds;
+    seconds_mad = mad;
     minor_words_per_node = minor_words;
     peak_heap_mb = peak_mb;
   }
@@ -120,6 +122,128 @@ let test_metrics_filter () =
   check Alcotest.(list string) "only requested metric" [ "rounds" ]
     (metric_names regs)
 
+let test_mad_widens_seconds_gate () =
+  (* +24% on seconds clears the 10% gate, but the recorded MAD says the
+     measurement is that noisy: 3*0.05 = 0.15 > 0.12 delta, so the
+     MAD-aware comparator stays quiet where the naive one would flag *)
+  let old_e = [ entry "g" ~seconds:0.5 ~mad:0.05 ] in
+  let new_e = [ entry "g" ~seconds:0.62 ~mad:0.05 ] in
+  check int "within noise" 0 (List.length (compare_entries old_e new_e));
+  let regs =
+    compare_entries [ entry "g" ~seconds:0.5 ] [ entry "g" ~seconds:0.62 ]
+  in
+  check Alcotest.(list string) "same delta without MAD flags" [ "seconds" ]
+    (metric_names regs)
+
+let test_seconds_absolute_floor () =
+  (* the bench record x3 acceptance case: +16.7% on a 0.6ms headline is
+     quantization noise, not a regression — seconds must also clear the
+     5ms absolute floor *)
+  let old_e = [ entry "g" ~seconds:0.0006 ] in
+  let new_e = [ entry "g" ~seconds:0.0007 ] in
+  check int "sub-floor jitter ignored" 0
+    (List.length (compare_entries old_e new_e))
+
+let test_mad_taken_from_either_side () =
+  (* only the new side recorded a MAD (baseline predates the stats
+     runner): the larger of the two sides still widens the gate *)
+  let old_e = [ entry "g" ~seconds:0.5 ] in
+  let new_e = [ entry "g" ~seconds:0.62 ~mad:0.05 ] in
+  check int "new-side MAD widens" 0 (List.length (compare_entries old_e new_e))
+
+let fp ?(sha = "abc123") () =
+  {
+    Workload.Stats.git_sha = sha;
+    ocaml_version = "5.1.1";
+    word_size = 64;
+    flambda = false;
+    hostname = "ci";
+  }
+
+let test_fingerprint_refusal () =
+  (* same tree, wildly different numbers, but the fingerprints differ:
+     the verdict is Incomparable, never a phantom regression list *)
+  let old_line = T.snapshot_json ~fingerprint:(fp ()) ~time:0.0 [ entry "g" ] in
+  let new_line =
+    T.snapshot_json ~fingerprint:(fp ~sha:"def456" ()) ~time:1.0
+      [ entry "g" ~rounds:900 ~seconds:9.0 ]
+  in
+  (match T.compare_snapshots ~old_line ~new_line () with
+  | T.Incomparable { old_fp; new_fp } ->
+      Alcotest.(check bool)
+        "old fp carries its sha" true
+        (Workload.Stats.fingerprint_of_json old_fp
+        = Some (fp ()))
+      ;
+      Alcotest.(check bool)
+        "new fp carries its sha" true
+        (Workload.Stats.fingerprint_of_json new_fp
+        = Some (fp ~sha:"def456" ()))
+  | T.Regressions _ -> Alcotest.fail "cross-fingerprint compare not refused");
+  (* identical fingerprints compare as usual *)
+  match
+    T.compare_snapshots ~old_line
+      ~new_line:
+        (T.snapshot_json ~fingerprint:(fp ()) ~time:1.0
+           [ entry "g" ~rounds:900 ])
+      ()
+  with
+  | T.Regressions regs ->
+      check Alcotest.(list string) "same fp gates" [ "rounds" ]
+        (metric_names regs)
+  | T.Incomparable _ -> Alcotest.fail "same-fingerprint compare refused"
+
+let test_missing_fingerprint_still_compares () =
+  (* pre-observatory baselines carry no fingerprint: history must stay
+     comparable rather than be orphaned wholesale *)
+  let old_line = T.snapshot_json ~time:0.0 [ entry "g" ] in
+  let new_line =
+    T.snapshot_json ~fingerprint:(fp ()) ~time:1.0 [ entry "g" ~rounds:900 ]
+  in
+  match T.compare_snapshots ~old_line ~new_line () with
+  | T.Regressions regs ->
+      check Alcotest.(list string) "still gates" [ "rounds" ]
+        (metric_names regs)
+  | T.Incomparable _ -> Alcotest.fail "fingerprint-less baseline refused"
+
+let test_fingerprint_json_roundtrip () =
+  let line = T.snapshot_json ~fingerprint:(fp ()) ~time:7.0 [ entry "a" ] in
+  (match T.fingerprint_of_line line with
+  | None -> Alcotest.fail "fingerprint object not found in snapshot line"
+  | Some raw ->
+      Alcotest.(check bool)
+        "roundtrips through json" true
+        (Workload.Stats.fingerprint_of_json raw = Some (fp ())));
+  check Alcotest.(option string) "absent stays absent" None
+    (T.fingerprint_of_line (T.snapshot_json ~time:7.0 [ entry "a" ]))
+
+let test_malformed_line_warned_and_skipped () =
+  (* a hand-edited (or truncated) trajectory file: the good snapshots
+     survive, the bad line is reported with its 1-based line number *)
+  let path = Filename.temp_file "trajectory" ".json" in
+  let good1 = T.snapshot_json ~time:1.0 [ entry "a" ] in
+  let good2 = T.snapshot_json ~time:2.0 [ entry "a" ~rounds:120 ] in
+  let oc = open_out path in
+  output_string oc
+    (String.concat "\n"
+       [ "["; good1 ^ ","; "{\"time\":3,\"workloads\":[{\"trunca"; good2; "]" ]);
+  close_out oc;
+  let warned = ref [] in
+  let back =
+    T.read_snapshot_lines
+      ~warn:(fun ~line_number line -> warned := (line_number, line) :: !warned)
+      path
+  in
+  Sys.remove path;
+  Alcotest.(check (list string)) "good snapshots survive" [ good1; good2 ] back;
+  match !warned with
+  | [ (line_number, line) ] ->
+      check int "1-based line number" 3 line_number;
+      Alcotest.(check bool)
+        "offending content reported" true
+        (String.length line > 0 && line.[0] = '{')
+  | ws -> Alcotest.fail (Printf.sprintf "expected 1 warning, got %d" (List.length ws))
+
 let test_write_read_roundtrip () =
   let path = Filename.temp_file "trajectory" ".json" in
   let lines =
@@ -158,6 +282,26 @@ let () =
             test_resource_columns_gate;
           Alcotest.test_case "metrics filter respected" `Quick
             test_metrics_filter;
+          Alcotest.test_case "MAD widens the seconds gate" `Quick
+            test_mad_widens_seconds_gate;
+          Alcotest.test_case "seconds absolute floor" `Quick
+            test_seconds_absolute_floor;
+          Alcotest.test_case "MAD taken from either side" `Quick
+            test_mad_taken_from_either_side;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "cross-fingerprint compare refused" `Quick
+            test_fingerprint_refusal;
+          Alcotest.test_case "fingerprint-less baseline compares" `Quick
+            test_missing_fingerprint_still_compares;
+          Alcotest.test_case "fingerprint json round-trip" `Quick
+            test_fingerprint_json_roundtrip;
+        ] );
+      ( "file",
+        [
+          Alcotest.test_case "malformed line warned and skipped" `Quick
+            test_malformed_line_warned_and_skipped;
           Alcotest.test_case "write/read round-trip" `Quick
             test_write_read_roundtrip;
         ] );

@@ -47,6 +47,7 @@ let default_config =
         ("raw-io", "dsgraph/io");
         ("raw-io", "congest/trace");
         ("wallclock", "congest/resource");
+        ("wallclock", "workload/stats");
         ("wallclock", "bench/");
       ];
   }

@@ -28,10 +28,11 @@
       [read], [write], …) outside [Dsgraph.Io] and the trace sink's
       spill path: ad-hoc I/O bypasses the checksummed CSR format;
     - [wallclock] — [Unix.gettimeofday] / [Unix.time] / [Sys.time] /
-      [Gc.*] outside [Congest.Resource] and [bench/]: the resource
-      side channel is the single sanctioned clock and GC read point,
-      so engines and node programs can never branch on real time or
-      allocator state.
+      [Gc.*] outside [Congest.Resource], [Workload.Stats] (the
+      multi-sample statistical runner, which settles the heap between
+      samples) and [bench/]: the resource side channel is the single
+      sanctioned clock and GC read point, so engines and node programs
+      can never branch on real time or allocator state.
 
     Findings are reported with the compiler's notion of location. *)
 
